@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Figure 1: IPC variation of the geometric-mean IPC across the CVP-1
+ * public traces for each converter improvement (and the Memory / Branch
+ * / All groups) relative to the original cvp2champsim conversion.
+ *
+ * Paper shape to reproduce: base-update and call-stack positive,
+ * flag-reg and branch-regs strongly negative, mem-regs/mem-footprint
+ * negligible, All a few percent negative.
+ *
+ * Scale with TRB_TRACE_LEN (instructions/trace, default 60000) and
+ * TRB_SUITE_SCALE (fraction of the 135-trace suite).
+ */
+
+#include <cstdio>
+
+#include "common/env.hh"
+#include "common/stats.hh"
+#include "experiments/experiment.hh"
+#include "synth/suites.hh"
+
+int
+main()
+{
+    using namespace trb;
+
+    std::uint64_t len = traceLengthFromEnv(60000);
+    auto suite = cvp1PublicSuite(len);
+    std::printf("Figure 1: geomean IPC variation per improvement "
+                "(CVP-1 public suite, %zu traces x %llu instructions)\n\n",
+                suite.size(), static_cast<unsigned long long>(len));
+    std::printf("%-15s %12s %14s\n", "improvement", "dIPC(geo)",
+                ">5% traces");
+    std::printf("%-15s %12s %14s\n", "-----------", "---------",
+                "----------");
+
+    std::vector<SimStats> baseline;
+    auto series = runImprovementSweep(suite, figureOneSets(),
+                                      modernConfig(), &baseline);
+    for (const DeltaSeries &s : series)
+        std::printf("%-15s %+11.2f%% %10u/%zu\n", s.setName.c_str(),
+                    s.geomeanDeltaPercent(), s.countAbove(5.0),
+                    s.ratio.size());
+
+    std::vector<double> ipcs;
+    for (const SimStats &b : baseline)
+        ipcs.push_back(b.ipc());
+    std::printf("\nbaseline geomean IPC %.3f\n", geomean(ipcs));
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 2: per-trace IPC variation for every improvement, each series
+ * sorted from highest IPC increase to highest decrease (the paper's
+ * S-curves).  Printed as one row per rank with one column per
+ * improvement, so the series can be plotted directly.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/env.hh"
+#include "experiments/experiment.hh"
+#include "synth/suites.hh"
+
+int
+main()
+{
+    using namespace trb;
+
+    std::uint64_t len = traceLengthFromEnv(60000);
+    auto suite = cvp1PublicSuite(len);
+    auto series = runImprovementSweep(suite, figureOneSets(),
+                                      modernConfig());
+
+    std::printf("Figure 2: per-trace IPC variation (%%), each column "
+                "sorted descending\n\n%-6s", "rank");
+    for (const DeltaSeries &s : series)
+        std::printf(" %13s", s.setName.c_str());
+    std::printf("\n");
+
+    std::vector<std::vector<double>> sorted(series.size());
+    for (std::size_t k = 0; k < series.size(); ++k) {
+        for (double r : series[k].ratio)
+            sorted[k].push_back(100.0 * (r - 1.0));
+        std::sort(sorted[k].rbegin(), sorted[k].rend());
+    }
+
+    std::size_t n = sorted.empty() ? 0 : sorted[0].size();
+    for (std::size_t i = 0; i < n; ++i) {
+        std::printf("%-6zu", i + 1);
+        for (std::size_t k = 0; k < series.size(); ++k)
+            std::printf(" %+12.2f%%", sorted[k][i]);
+        std::printf("\n");
+    }
+    return 0;
+}

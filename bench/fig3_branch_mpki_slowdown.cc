@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 3: slowdown caused by the branch-regs and flag-reg improvements
+ * versus the trace's branch MPKI.  Traces are sorted by increasing
+ * baseline branch MPKI (the paper's dashed line); the expected shape is
+ * slowdown growing with MPKI.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/env.hh"
+#include "experiments/experiment.hh"
+#include "synth/suites.hh"
+
+int
+main()
+{
+    using namespace trb;
+
+    std::uint64_t len = traceLengthFromEnv(60000);
+    auto suite = cvp1PublicSuite(len);
+    CoreParams params = modernConfig();
+
+    struct Row
+    {
+        std::string name;
+        double mpki;
+        double branchRegsSlowdown;
+        double flagRegSlowdown;
+    };
+    std::vector<Row> rows;
+
+    forEachTrace(suite, [&](std::size_t, const TraceSpec &spec,
+                            const CvpTrace &cvp) {
+        SimStats base = simulateCvp(cvp, kImpNone, params);
+        SimStats br = simulateCvp(cvp, kImpBranchRegs, params);
+        SimStats fr = simulateCvp(cvp, kImpFlagReg, params);
+        rows.push_back({spec.name, base.branchMpki(),
+                        100.0 * (base.ipc() / br.ipc() - 1.0),
+                        100.0 * (base.ipc() / fr.ipc() - 1.0)});
+    });
+
+    std::sort(rows.begin(), rows.end(),
+              [](const Row &a, const Row &b) { return a.mpki < b.mpki; });
+
+    std::printf("Figure 3: slowdown of branch-regs and flag-reg vs "
+                "branch MPKI (sorted by MPKI)\n\n");
+    std::printf("%-18s %10s %15s %15s\n", "trace", "brMPKI",
+                "branch-regs(%)", "flag-reg(%)");
+    double corr_n = 0, slow_lo = 0, slow_hi = 0;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::printf("%-18s %10.2f %+15.2f %+15.2f\n", r.name.c_str(),
+                    r.mpki, r.branchRegsSlowdown, r.flagRegSlowdown);
+        if (i < rows.size() / 4)
+            slow_lo += r.flagRegSlowdown;
+        if (i >= rows.size() - rows.size() / 4)
+            slow_hi += r.flagRegSlowdown;
+        corr_n += 1;
+    }
+    if (!rows.empty()) {
+        double q = static_cast<double>(rows.size() / 4);
+        std::printf("\nflag-reg slowdown, lowest-MPKI quartile: %+0.2f%%  "
+                    "highest-MPKI quartile: %+0.2f%%\n",
+                    slow_lo / q, slow_hi / q);
+    }
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Figure 4: speedup of the base-update improvement versus the fraction
+ * of instructions that are writeback (base-updating) loads.  Traces are
+ * sorted by that fraction (the paper's dashed line); the expected shape
+ * is speedup growing with the fraction.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/env.hh"
+#include "experiments/experiment.hh"
+#include "synth/suites.hh"
+
+int
+main()
+{
+    using namespace trb;
+
+    std::uint64_t len = traceLengthFromEnv(60000);
+    auto suite = cvp1PublicSuite(len);
+    CoreParams params = modernConfig();
+
+    struct Row
+    {
+        std::string name;
+        double wbLoadPct;
+        double speedup;
+    };
+    std::vector<Row> rows;
+
+    forEachTrace(suite, [&](std::size_t, const TraceSpec &spec,
+                            const CvpTrace &cvp) {
+        SimStats base = simulateCvp(cvp, kImpNone, params);
+        SimStats bu = simulateCvp(cvp, kImpBaseUpdate, params);
+        rows.push_back({spec.name, 100.0 * writebackLoadFraction(cvp),
+                        100.0 * (bu.ipc() / base.ipc() - 1.0)});
+    });
+
+    std::sort(rows.begin(), rows.end(), [](const Row &a, const Row &b) {
+        return a.wbLoadPct < b.wbLoadPct;
+    });
+
+    std::printf("Figure 4: base-update speedup vs writeback-load density "
+                "(sorted by density)\n\n");
+    std::printf("%-18s %14s %12s\n", "trace", "wb-loads(%)",
+                "speedup(%)");
+    double lo = 0, hi = 0;
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        std::printf("%-18s %14.2f %+12.2f\n", r.name.c_str(), r.wbLoadPct,
+                    r.speedup);
+        if (i < rows.size() / 4)
+            lo += r.speedup;
+        if (i >= rows.size() - rows.size() / 4)
+            hi += r.speedup;
+    }
+    if (!rows.empty()) {
+        double q = static_cast<double>(rows.size() / 4);
+        std::printf("\nspeedup, lowest-density quartile: %+0.2f%%  "
+                    "highest-density quartile: %+0.2f%%\n",
+                    lo / q, hi / q);
+    }
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Table 3: the IPC-1 championship re-ranking.  The eight submitted
+ * instruction prefetchers are scored by geometric-mean speedup over the
+ * no-prefetcher baseline on the IPC-1 configuration (coupled front-end,
+ * ideal target predictor, 50%% warm-up), once on the "competition"
+ * traces (original conversion) and once on the fixed traces (all
+ * improvements except mem-footprint, per the paper's footnote 4).
+ *
+ * Paper shape to reproduce: larger speedups on the fixed traces and a
+ * mid-pack reshuffle of the ranking.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "common/env.hh"
+#include "common/stats.hh"
+#include "experiments/experiment.hh"
+#include "ipref/instr_prefetcher.hh"
+#include "synth/suites.hh"
+
+int
+main()
+{
+    using namespace trb;
+
+    // Temporal prefetchers need history reuse: this experiment defaults
+    // to longer traces than the figures (override with TRB_TRACE_LEN).
+    std::uint64_t len = traceLengthFromEnv(200000);
+    auto suite = ipc1Suite(len);
+    CoreParams params = ipc1Config();
+    constexpr double kWarmup = 0.5;
+
+    const auto &names = ipc1PrefetcherNames();
+    // speedups[setIndex][prefetcher] = per-trace IPC ratios.
+    std::map<std::string, std::vector<double>> speedups[2];
+    const ImprovementSet sets[2] = {kImpNone, kIpc1Imps};
+    const char *set_names[2] = {"Competition traces", "Fixed traces"};
+
+    forEachTrace(suite, [&](std::size_t, const TraceSpec &,
+                            const CvpTrace &cvp) {
+        for (int v = 0; v < 2; ++v) {
+            Cvp2ChampSim conv(sets[v]);
+            ChampSimTrace trace = conv.convert(cvp);
+            SimStats base = simulateChampSim(trace, params, kWarmup);
+            for (const std::string &name : names) {
+                auto pf = makeInstrPrefetcher(name);
+                SimStats s =
+                    simulateChampSim(trace, params, kWarmup, pf.get());
+                speedups[v][name].push_back(s.ipc() / base.ipc());
+            }
+        }
+    });
+
+    std::printf("Table 3: IPC-1 ranking, geomean speedup over "
+                "no-prefetcher\n");
+    for (int v = 0; v < 2; ++v) {
+        std::vector<std::pair<double, std::string>> ranking;
+        for (const std::string &name : names)
+            ranking.emplace_back(geomean(speedups[v][name]), name);
+        std::sort(ranking.rbegin(), ranking.rend());
+        std::printf("\n%s\n%-6s %-12s %-8s\n", set_names[v], "rank",
+                    "prefetcher", "speedup");
+        for (std::size_t r = 0; r < ranking.size(); ++r)
+            std::printf("%-6zu %-12s %.4f\n", r + 1,
+                        ranking[r].second.c_str(), ranking[r].first);
+    }
+    return 0;
+}

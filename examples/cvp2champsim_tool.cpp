@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The artifact-style converter CLI:
+ *
+ *   cvp2champsim_tool -t <trace.cvp[.gz]> [-i <improvement>] [-o <out>]
+ *
+ * where <improvement> is one of the artifact's names (No_imp, All_imps,
+ * Memory_imps, Branch_imps, IPC1_imps, imp_mem-regs, imp_base-update,
+ * imp_mem-footprint, imp_call-stack, imp_branch-regs, imp_flag-regs;
+ * default All_imps).  Without -o, the converted trace goes to
+ * <trace>.champsimtrace (add .gz to compress).  Conversion statistics
+ * are printed to stderr.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "convert/cvp2champsim.hh"
+#include "trace/champsim_trace.hh"
+#include "trace/cvp_trace.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace trb;
+
+    std::string input;
+    std::string output;
+    std::string imp_name = "All_imps";
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "-t") == 0 && i + 1 < argc)
+            input = argv[++i];
+        else if (std::strcmp(argv[i], "-i") == 0 && i + 1 < argc)
+            imp_name = argv[++i];
+        else if (std::strcmp(argv[i], "-o") == 0 && i + 1 < argc)
+            output = argv[++i];
+        else {
+            std::fprintf(stderr,
+                         "usage: %s -t trace.cvp[.gz] [-i improvement] "
+                         "[-o out.champsimtrace[.gz]]\n",
+                         argv[0]);
+            return 1;
+        }
+    }
+    if (input.empty()) {
+        std::fprintf(stderr, "missing -t <trace>\n");
+        return 1;
+    }
+    ImprovementSet imps = 0;
+    if (!parseImprovementSet(imp_name, imps)) {
+        std::fprintf(stderr, "unknown improvement set '%s'\n",
+                     imp_name.c_str());
+        return 1;
+    }
+    if (output.empty())
+        output = input + ".champsimtrace";
+
+    // Stream: CVP-1 records in, ChampSim records out.
+    CvpTraceReader reader(input);
+    Cvp2ChampSim conv(imps);
+    ChampSimTrace out;
+    out.reserve(reader.count() + reader.count() / 8);
+    CvpRecord rec;
+    while (reader.next(rec))
+        conv.convertOne(rec, out);
+    writeChampSimTrace(output, out);
+
+    const ConvStats &s = conv.stats();
+    std::fprintf(stderr,
+                 "%s: %llu CVP-1 -> %llu ChampSim instructions (%s)\n",
+                 output.c_str(),
+                 static_cast<unsigned long long>(s.cvpInstructions),
+                 static_cast<unsigned long long>(s.champsimInstructions),
+                 improvementSetName(imps).c_str());
+    std::fprintf(stderr,
+                 "  base updates: %llu pre, %llu post; calls fixed: %llu; "
+                 "flag dsts: %llu; line splits: %llu; X0 inserted: %llu\n",
+                 static_cast<unsigned long long>(s.baseUpdatePre),
+                 static_cast<unsigned long long>(s.baseUpdatePost),
+                 static_cast<unsigned long long>(s.callsReclassified),
+                 static_cast<unsigned long long>(s.flagDstsAdded),
+                 static_cast<unsigned long long>(s.lineCrossing),
+                 static_cast<unsigned long long>(s.x0InsertedMem));
+    return 0;
+}

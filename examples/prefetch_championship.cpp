@@ -1,0 +1,69 @@
+/**
+ * @file
+ * A miniature IPC-1: run the eight instruction-prefetcher submissions on
+ * a handful of front-end-bound synthetic traces under the championship
+ * configuration (coupled front-end, ideal target predictor, 50% warm-up)
+ * and print the ranking -- on competition-style traces and on traces
+ * fixed by the improved converter.
+ *
+ * Usage:  prefetch_championship [traces] [length]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "experiments/experiment.hh"
+#include "ipref/instr_prefetcher.hh"
+#include "synth/generator.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace trb;
+
+    std::size_t ntraces =
+        argc >= 2 ? std::strtoull(argv[1], nullptr, 10) : 6;
+    std::uint64_t length =
+        argc >= 3 ? std::strtoull(argv[2], nullptr, 10) : 120000;
+
+    CoreParams core = ipc1Config();
+    std::map<std::string, std::vector<double>> speedups[2];
+    const ImprovementSet sets[2] = {kImpNone, kIpc1Imps};
+
+    for (std::size_t i = 0; i < ntraces; ++i) {
+        WorkloadParams params = serverParams(1000 + i);
+        params.numFunctions = 400 + 150 * static_cast<unsigned>(i);
+        CvpTrace cvp = TraceGenerator(params).generate(length);
+        for (int v = 0; v < 2; ++v) {
+            Cvp2ChampSim conv(sets[v]);
+            ChampSimTrace trace = conv.convert(cvp);
+            SimStats base = simulateChampSim(trace, core, 0.5);
+            std::printf("trace %zu (%s): baseline IPC %.3f, L1I MPKI "
+                        "%.1f\n",
+                        i, v ? "fixed" : "competition", base.ipc(),
+                        base.l1iMpki());
+            for (const std::string &name : ipc1PrefetcherNames()) {
+                auto pf = makeInstrPrefetcher(name);
+                SimStats s = simulateChampSim(trace, core, 0.5, pf.get());
+                speedups[v][name].push_back(s.ipc() / base.ipc());
+            }
+        }
+    }
+
+    for (int v = 0; v < 2; ++v) {
+        std::vector<std::pair<double, std::string>> rank;
+        for (auto &[name, ratios] : speedups[v])
+            rank.emplace_back(geomean(ratios), name);
+        std::sort(rank.rbegin(), rank.rend());
+        std::printf("\n=== %s traces ===\n",
+                    v ? "Fixed" : "Competition");
+        for (std::size_t r = 0; r < rank.size(); ++r)
+            std::printf("%zu. %-10s %.4f\n", r + 1,
+                        rank[r].second.c_str(), rank[r].first);
+    }
+    return 0;
+}

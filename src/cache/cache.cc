@@ -1,0 +1,123 @@
+#include "cache/cache.hh"
+
+#include "common/logging.hh"
+
+namespace trb
+{
+
+Cache::Cache(const CacheParams &params) : params_(params)
+{
+    std::size_t lines = params.sizeBytes / kLineBytes;
+    trb_assert(params.ways >= 1 && lines % params.ways == 0,
+               "cache lines must divide into ways: ", params.name);
+    sets_ = lines / params.ways;
+    trb_assert((sets_ & (sets_ - 1)) == 0,
+               "cache set count must be a power of two: ", params.name);
+    setMask_ = sets_ - 1;
+    lines_.assign(lines, Line{});
+}
+
+Cache::Line *
+Cache::find(Addr addr)
+{
+    Line *set = &lines_[setOf(addr) * params_.ways];
+    for (unsigned w = 0; w < params_.ways; ++w)
+        if (set[w].valid && set[w].tag == tagOf(addr))
+            return &set[w];
+    return nullptr;
+}
+
+const Cache::Line *
+Cache::find(Addr addr) const
+{
+    const Line *set = &lines_[setOf(addr) * params_.ways];
+    for (unsigned w = 0; w < params_.ways; ++w)
+        if (set[w].valid && set[w].tag == tagOf(addr))
+            return &set[w];
+    return nullptr;
+}
+
+bool
+Cache::access(Addr addr, bool write)
+{
+    ++accesses_;
+    Line *line = find(addr);
+    if (!line) {
+        ++misses_;
+        return false;
+    }
+    line->lru = ++clock_;
+    line->rrpv = 0;
+    line->dirty |= write;
+    return true;
+}
+
+bool
+Cache::probe(Addr addr) const
+{
+    return find(addr) != nullptr;
+}
+
+Cache::Line &
+Cache::pickVictim(std::size_t set)
+{
+    Line *ways = &lines_[set * params_.ways];
+    for (unsigned w = 0; w < params_.ways; ++w)
+        if (!ways[w].valid)
+            return ways[w];
+
+    if (params_.policy == ReplPolicy::Lru) {
+        Line *victim = &ways[0];
+        for (unsigned w = 1; w < params_.ways; ++w)
+            if (ways[w].lru < victim->lru)
+                victim = &ways[w];
+        return *victim;
+    }
+
+    // SRRIP: evict the first line with maximal RRPV, aging as needed.
+    for (;;) {
+        for (unsigned w = 0; w < params_.ways; ++w)
+            if (ways[w].rrpv >= 3)
+                return ways[w];
+        for (unsigned w = 0; w < params_.ways; ++w)
+            ++ways[w].rrpv;
+    }
+}
+
+bool
+Cache::insert(Addr addr, bool write, bool prefetched, Addr &victim)
+{
+    victim = 0;
+    Line *existing = find(addr);
+    if (existing) {
+        existing->dirty |= write;
+        return false;
+    }
+    ++insertions_;
+    Line &line = pickVictim(setOf(addr));
+    bool dirty_evict = line.valid && line.dirty;
+    if (line.valid)
+        victim = line.tag * kLineBytes;
+    if (dirty_evict)
+        ++writebacks_;
+    line.valid = true;
+    line.tag = tagOf(addr);
+    line.dirty = write;
+    line.lru = ++clock_;
+    line.rrpv = prefetched ? 3 : 2;
+    return dirty_evict;
+}
+
+bool
+Cache::invalidate(Addr addr)
+{
+    Line *line = find(addr);
+    if (!line)
+        return false;
+    bool dirty = line->dirty;
+    line->valid = false;
+    line->dirty = false;
+    return dirty;
+}
+
+} // namespace trb

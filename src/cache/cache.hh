@@ -1,0 +1,101 @@
+/**
+ * @file
+ * A set-associative cache tag array with pluggable replacement (LRU or
+ * SRRIP).  Purely structural: hit/miss/insert/evict bookkeeping; the
+ * hierarchy (hierarchy.hh) owns latencies and miss handling.
+ */
+
+#ifndef TRB_CACHE_CACHE_HH
+#define TRB_CACHE_CACHE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace trb
+{
+
+/** Replacement policies available to Cache. */
+enum class ReplPolicy : std::uint8_t
+{
+    Lru,
+    Srrip,
+};
+
+/** Structural parameters of one cache level. */
+struct CacheParams
+{
+    std::string name = "cache";
+    std::size_t sizeBytes = 32 * 1024;
+    unsigned ways = 8;
+    Cycle latency = 4;              //!< added cycles when this level hits
+    ReplPolicy policy = ReplPolicy::Lru;
+};
+
+/** Tag-array cache with LRU/SRRIP replacement. */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    /**
+     * Demand access to the line containing @p addr.
+     * @return true on hit (recency/RRPV updated).
+     */
+    bool access(Addr addr, bool write);
+
+    /** True if the line is present (no replacement state update). */
+    bool probe(Addr addr) const;
+
+    /**
+     * Insert the line containing @p addr.
+     * @param prefetched marks SRRIP distant-reuse insertion
+     * @param[out] victim line address evicted (0 if none/invalid)
+     * @return true if a dirty victim was evicted (writeback needed)
+     */
+    bool insert(Addr addr, bool write, bool prefetched, Addr &victim);
+
+    /** Invalidate the line if present; returns true if it was dirty. */
+    bool invalidate(Addr addr);
+
+    const CacheParams &params() const { return params_; }
+    std::size_t numSets() const { return sets_; }
+
+    std::uint64_t accesses() const { return accesses_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t insertions() const { return insertions_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+
+  private:
+    struct Line
+    {
+        Addr tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lru = 0;      //!< recency stamp (LRU)
+        std::uint8_t rrpv = 3;      //!< re-reference prediction (SRRIP)
+    };
+
+    std::size_t setOf(Addr addr) const { return lineNum(addr) & setMask_; }
+    Addr tagOf(Addr addr) const { return lineNum(addr); }
+    Line *find(Addr addr);
+    const Line *find(Addr addr) const;
+    Line &pickVictim(std::size_t set);
+
+    CacheParams params_;
+    std::size_t sets_;
+    std::size_t setMask_;
+    std::vector<Line> lines_;
+    std::uint64_t clock_ = 0;
+
+    std::uint64_t accesses_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t insertions_ = 0;
+    std::uint64_t writebacks_ = 0;
+};
+
+} // namespace trb
+
+#endif // TRB_CACHE_CACHE_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The four-level memory hierarchy (L1I, L1D, shared L2, LLC, DRAM) with
+ * latency-aware miss handling: a miss starts an in-flight fill that
+ * becomes usable at now + latency, and demand accesses that land on an
+ * in-flight line pay only the remaining time (an MSHR-hit).  Data
+ * prefetchers (ip-stride at L1D, next-line at L2) and the instruction
+ * prefetcher hook issue non-demand fills through the same machinery.
+ */
+
+#ifndef TRB_CACHE_HIERARCHY_HH
+#define TRB_CACHE_HIERARCHY_HH
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/cache.hh"
+#include "cache/prefetcher.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace trb
+{
+
+/** Parameters of the whole hierarchy. */
+struct HierarchyParams
+{
+    CacheParams l1i{"L1I", 32 * 1024, 8, 4, ReplPolicy::Lru};
+    CacheParams l1d{"L1D", 48 * 1024, 12, 5, ReplPolicy::Lru};
+    CacheParams l2{"L2", 512 * 1024, 8, 10, ReplPolicy::Lru};
+    CacheParams llc{"LLC", 2 * 1024 * 1024, 16, 24, ReplPolicy::Srrip};
+    Cycle dramLatency = 180;
+    bool l1dIpStride = true;    //!< the paper's Icelake-like L1D prefetch
+    bool l2NextLine = true;     //!< ... and its L2 next-line companion
+};
+
+/** What a demand access is. */
+enum class AccessKind : std::uint8_t
+{
+    Instr,
+    Load,
+    Store,
+};
+
+/** Demand access outcome. */
+struct AccessResult
+{
+    Cycle latency = 0;      //!< cycles until the data is usable
+    unsigned level = 1;     //!< 1..3 = cache level that hit, 4 = DRAM
+    bool l1Miss = false;
+};
+
+/** The memory hierarchy. */
+class MemoryHierarchy
+{
+  public:
+    explicit MemoryHierarchy(const HierarchyParams &params);
+
+    /** Demand access at cycle @p now. @p ip trains data prefetchers. */
+    AccessResult access(AccessKind kind, Addr addr, Addr ip, Cycle now);
+
+    /**
+     * Instruction prefetch into the L1I (for instruction prefetchers).
+     * @return true if a fill was started (not already present/in-flight).
+     */
+    bool prefetchInstr(Addr addr, Cycle now);
+
+    /** Data prefetch into the L1D (exposed for completeness/tests). */
+    bool prefetchData(Addr addr, Cycle now);
+
+    /** True if the line is in the L1I or its fill has completed. */
+    bool probeL1I(Addr addr, Cycle now) const;
+
+    /// @name Demand statistics (misses are per-level demand misses).
+    /// @{
+    std::uint64_t l1iAccesses() const { return l1iAcc_; }
+    std::uint64_t l1iMisses() const { return l1iMiss_; }
+    std::uint64_t l1dAccesses() const { return l1dAcc_; }
+    std::uint64_t l1dMisses() const { return l1dMiss_; }
+    std::uint64_t l2Accesses() const { return l2Acc_; }
+    std::uint64_t l2Misses() const { return l2Miss_; }
+    std::uint64_t llcAccesses() const { return llcAcc_; }
+    std::uint64_t llcMisses() const { return llcMiss_; }
+    std::uint64_t prefetchesIssued() const { return pfIssued_; }
+    /// @}
+
+    /** Dump every counter into a StatSet. */
+    void report(StatSet &stats) const;
+
+  private:
+    /**
+     * Walk the shared levels (L2, LLC, DRAM) for a line that missed an
+     * L1.  Counts demand statistics when @p demand and fills the shared
+     * levels on the way back.
+     * @return cumulative latency beyond the L1 access.
+     */
+    Cycle walkShared(Addr addr, bool write, bool demand, bool prefetched);
+
+    /** Start or join an in-flight fill; returns data-ready delay. */
+    Cycle fillL1(Cache &l1, std::unordered_map<Addr, Cycle> &inflight,
+                 Addr addr, bool write, bool demand, bool prefetched,
+                 Cycle now);
+
+    static void cleanInflight(std::unordered_map<Addr, Cycle> &map,
+                              Cycle now);
+
+    HierarchyParams params_;
+    Cache l1i_;
+    Cache l1d_;
+    Cache l2_;
+    Cache llc_;
+
+    std::unordered_map<Addr, Cycle> inflightI_;
+    std::unordered_map<Addr, Cycle> inflightD_;
+
+    std::unique_ptr<DataPrefetcher> l1dPrefetcher_;
+    std::unique_ptr<DataPrefetcher> l2Prefetcher_;
+    std::vector<Addr> pfScratch_;
+
+    std::uint64_t l1iAcc_ = 0, l1iMiss_ = 0;
+    std::uint64_t l1dAcc_ = 0, l1dMiss_ = 0;
+    std::uint64_t l2Acc_ = 0, l2Miss_ = 0;
+    std::uint64_t llcAcc_ = 0, llcMiss_ = 0;
+    std::uint64_t pfIssued_ = 0;
+};
+
+} // namespace trb
+
+#endif // TRB_CACHE_HIERARCHY_HH

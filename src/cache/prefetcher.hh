@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Data prefetchers: the IP-stride prefetcher at the L1D and the next-line
+ * prefetcher at the L2 -- the paper's stand-in for the Icelake-style
+ * prefetching setup.  Prefetch candidates are returned to the hierarchy,
+ * which performs the fills with proper latency accounting.
+ */
+
+#ifndef TRB_CACHE_PREFETCHER_HH
+#define TRB_CACHE_PREFETCHER_HH
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace trb
+{
+
+/** Interface of a data prefetcher attached to one cache level. */
+class DataPrefetcher
+{
+  public:
+    virtual ~DataPrefetcher() = default;
+
+    /**
+     * Observe a demand access and append prefetch candidates.
+     * @param ip instruction address of the memory instruction
+     * @param addr byte address accessed
+     * @param hit whether the demand access hit this level
+     * @param out candidate line-aligned prefetch addresses
+     */
+    virtual void observe(Addr ip, Addr addr, bool hit,
+                         std::vector<Addr> &out) = 0;
+
+    virtual const char *name() const = 0;
+};
+
+/** Classic per-IP stride detector with confidence and degree. */
+class IpStridePrefetcher : public DataPrefetcher
+{
+  public:
+    explicit IpStridePrefetcher(unsigned degree = 3) : degree_(degree) {}
+
+    void
+    observe(Addr ip, Addr addr, bool /*hit*/,
+            std::vector<Addr> &out) override
+    {
+        Entry &e = table_[(ip >> 2) % table_.size()];
+        Addr tag = ip >> 2;
+        if (e.tag != tag) {
+            e = Entry{};
+            e.tag = tag;
+            e.lastAddr = addr;
+            return;
+        }
+        std::int64_t stride = static_cast<std::int64_t>(addr) -
+                              static_cast<std::int64_t>(e.lastAddr);
+        if (stride != 0 && stride == e.stride) {
+            if (e.confidence < 3)
+                ++e.confidence;
+        } else if (stride != 0) {
+            e.stride = stride;
+            e.confidence = e.confidence > 0 ? e.confidence - 1 : 0;
+        }
+        e.lastAddr = addr;
+        if (e.confidence >= 2 && e.stride != 0) {
+            Addr next = addr;
+            for (unsigned d = 0; d < degree_; ++d) {
+                next = static_cast<Addr>(
+                    static_cast<std::int64_t>(next) + e.stride);
+                out.push_back(lineAddr(next));
+            }
+        }
+    }
+
+    const char *name() const override { return "ip-stride"; }
+
+  private:
+    struct Entry
+    {
+        Addr tag = 0;
+        Addr lastAddr = 0;
+        std::int64_t stride = 0;
+        unsigned confidence = 0;
+    };
+
+    unsigned degree_;
+    std::array<Entry, 1024> table_{};
+};
+
+/** Fetch line + 1 on every demand access. */
+class NextLinePrefetcher : public DataPrefetcher
+{
+  public:
+    void
+    observe(Addr /*ip*/, Addr addr, bool /*hit*/,
+            std::vector<Addr> &out) override
+    {
+        out.push_back(lineAddr(addr) + kLineBytes);
+    }
+
+    const char *name() const override { return "next-line"; }
+};
+
+} // namespace trb
+
+#endif // TRB_CACHE_PREFETCHER_HH

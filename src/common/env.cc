@@ -1,0 +1,56 @@
+#include "common/env.hh"
+
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace trb
+{
+
+std::uint64_t
+envU64(const char *name, std::uint64_t def)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return def;
+    char *end = nullptr;
+    std::uint64_t parsed = std::strtoull(value, &end, 10);
+    if (end == value || *end != '\0')
+        trb_fatal("environment variable ", name, "='", value,
+                  "' is not an integer");
+    return parsed;
+}
+
+double
+envDouble(const char *name, double def)
+{
+    const char *value = std::getenv(name);
+    if (!value || !*value)
+        return def;
+    char *end = nullptr;
+    double parsed = std::strtod(value, &end);
+    if (end == value || *end != '\0')
+        trb_fatal("environment variable ", name, "='", value,
+                  "' is not a number");
+    return parsed;
+}
+
+std::uint64_t
+traceLengthFromEnv(std::uint64_t def)
+{
+    std::uint64_t len = envU64("TRB_TRACE_LEN", def);
+    if (len < 1000)
+        trb_fatal("TRB_TRACE_LEN must be at least 1000, got ", len);
+    return len;
+}
+
+double
+suiteScaleFromEnv(double def)
+{
+    double scale = envDouble("TRB_SUITE_SCALE", def);
+    if (scale <= 0.0 || scale > 1.0)
+        trb_fatal("TRB_SUITE_SCALE must be in (0, 1], got ", scale);
+    return scale;
+}
+
+} // namespace trb

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Environment-variable driven experiment scaling.  Every bench binary
+ * honours TRB_TRACE_LEN (instructions per synthetic trace) and
+ * TRB_SUITE_SCALE (fraction of the suite to run) so the paper-sized
+ * experiment is reachable without a rebuild.
+ */
+
+#ifndef TRB_COMMON_ENV_HH
+#define TRB_COMMON_ENV_HH
+
+#include <cstdint>
+#include <string>
+
+namespace trb
+{
+
+/** Integer environment variable with a default. */
+std::uint64_t envU64(const char *name, std::uint64_t def);
+
+/** Floating-point environment variable with a default. */
+double envDouble(const char *name, double def);
+
+/** Instructions per synthetic trace for experiments (TRB_TRACE_LEN). */
+std::uint64_t traceLengthFromEnv(std::uint64_t def = 50000);
+
+/** Fraction (0,1] of a suite to run (TRB_SUITE_SCALE). */
+double suiteScaleFromEnv(double def = 1.0);
+
+} // namespace trb
+
+#endif // TRB_COMMON_ENV_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Minimal gem5-style logging and error-exit helpers.
+ *
+ * panic() is for internal invariant violations (a TraceRebase bug);
+ * fatal() is for user errors (bad file, bad configuration); warn() and
+ * inform() report conditions without stopping.
+ */
+
+#ifndef TRB_COMMON_LOGGING_HH
+#define TRB_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace trb
+{
+
+namespace detail
+{
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+/** Concatenate a parameter pack into one string via ostringstream. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Abort with a message: something that should never happen happened. */
+#define trb_panic(...) \
+    ::trb::detail::panicImpl(__FILE__, __LINE__, \
+                             ::trb::detail::concat(__VA_ARGS__))
+
+/** Exit with a message: the user asked for something impossible. */
+#define trb_fatal(...) \
+    ::trb::detail::fatalImpl(__FILE__, __LINE__, \
+                             ::trb::detail::concat(__VA_ARGS__))
+
+/** Report a suspicious-but-survivable condition to stderr. */
+#define trb_warn(...) \
+    ::trb::detail::warnImpl(::trb::detail::concat(__VA_ARGS__))
+
+/** Report normal operating status to stderr. */
+#define trb_inform(...) \
+    ::trb::detail::informImpl(::trb::detail::concat(__VA_ARGS__))
+
+/** Panic unless a simulator invariant holds. */
+#define trb_assert(cond, ...) \
+    do { \
+        if (!(cond)) { \
+            trb_panic("assertion failed: " #cond " ", ##__VA_ARGS__); \
+        } \
+    } while (0)
+
+} // namespace trb
+
+#endif // TRB_COMMON_LOGGING_HH

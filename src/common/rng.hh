@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation for synthetic workload
+ * construction.  SplitMix64 for seeding, xoshiro256** for the stream; both
+ * are tiny, fast and reproducible across platforms, which matters because
+ * trace generation must be bit-identical given a seed.
+ */
+
+#ifndef TRB_COMMON_RNG_HH
+#define TRB_COMMON_RNG_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace trb
+{
+
+/** One SplitMix64 step: used to expand a single seed into xoshiro state. */
+constexpr std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/**
+ * xoshiro256** generator with convenience helpers for ranges, booleans
+ * with a probability, and weighted choices.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitmix64(sm);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be non-zero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        trb_assert(bound != 0, "Rng::below(0)");
+        // Lemire-style multiply-shift; bias is negligible for our bounds.
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        trb_assert(lo <= hi, "Rng::range lo > hi");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** True with probability p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /**
+     * Pick an index according to a table of non-negative weights.
+     * A zero-total table picks index 0.
+     */
+    template <typename Container>
+    std::size_t
+    weighted(const Container &weights)
+    {
+        double total = 0.0;
+        for (double w : weights)
+            total += w;
+        if (total <= 0.0)
+            return 0;
+        double x = uniform() * total;
+        std::size_t i = 0;
+        for (double w : weights) {
+            if (x < w)
+                return i;
+            x -= w;
+            ++i;
+        }
+        return weights.size() - 1;
+    }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+};
+
+} // namespace trb
+
+#endif // TRB_COMMON_RNG_HH

@@ -1,0 +1,84 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace trb
+{
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        trb_assert(v > 0.0, "geomean needs positive values, got ", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+percentile(std::vector<double> values, double p)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    double rank = (p / 100.0) * static_cast<double>(values.size() - 1);
+    auto lo = static_cast<std::size_t>(rank);
+    auto hi = std::min(lo + 1, values.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+double
+mpki(std::uint64_t events, std::uint64_t instructions)
+{
+    if (instructions == 0)
+        return 0.0;
+    return 1000.0 * static_cast<double>(events) /
+           static_cast<double>(instructions);
+}
+
+std::string
+fmtDouble(double v, int precision)
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(precision);
+    os << v;
+    return os.str();
+}
+
+void
+StatSet::merge(const StatSet &other)
+{
+    for (const auto &[name, value] : other.entries_)
+        add(name, value);
+}
+
+std::string
+StatSet::report(const std::string &prefix) const
+{
+    std::ostringstream os;
+    for (const auto &[name, value] : entries_)
+        os << prefix << name << " " << value << "\n";
+    return os.str();
+}
+
+} // namespace trb

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Small statistics toolkit: named scalar counters, ratio formatting,
+ * histograms, and the aggregate helpers (geometric mean, percentiles) the
+ * experiment harness uses to reproduce the paper's figures.
+ */
+
+#ifndef TRB_COMMON_STATS_HH
+#define TRB_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace trb
+{
+
+/** Geometric mean of a vector of positive values; 0 if empty. */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean; 0 if empty. */
+double mean(const std::vector<double> &values);
+
+/** p-th percentile (0..100) by nearest-rank on a copy; 0 if empty. */
+double percentile(std::vector<double> values, double p);
+
+/** Misses-per-kilo-instruction helper. */
+double mpki(std::uint64_t events, std::uint64_t instructions);
+
+/** Format a double with fixed precision into a string. */
+std::string fmtDouble(double v, int precision = 2);
+
+/**
+ * A bag of named scalar statistics with insertion-ordered printing.
+ *
+ * Simulation components register counters by name; the simulator facade
+ * merges component bags into one report.
+ */
+class StatSet
+{
+  public:
+    /** Add (or create) a named counter. */
+    void
+    add(const std::string &name, std::uint64_t delta = 1)
+    {
+        auto it = index_.find(name);
+        if (it == index_.end()) {
+            index_.emplace(name, entries_.size());
+            entries_.emplace_back(name, delta);
+        } else {
+            entries_[it->second].second += delta;
+        }
+    }
+
+    /** Set a named counter to an absolute value. */
+    void
+    set(const std::string &name, std::uint64_t value)
+    {
+        auto it = index_.find(name);
+        if (it == index_.end()) {
+            index_.emplace(name, entries_.size());
+            entries_.emplace_back(name, value);
+        } else {
+            entries_[it->second].second = value;
+        }
+    }
+
+    /** Value of a counter; 0 if absent. */
+    std::uint64_t
+    get(const std::string &name) const
+    {
+        auto it = index_.find(name);
+        return it == index_.end() ? 0 : entries_[it->second].second;
+    }
+
+    /** All counters in insertion order. */
+    const std::vector<std::pair<std::string, std::uint64_t>> &
+    entries() const
+    {
+        return entries_;
+    }
+
+    /** Merge another set into this one (summing same-named counters). */
+    void merge(const StatSet &other);
+
+    /** Render as "name value" lines. */
+    std::string report(const std::string &prefix = "") const;
+
+  private:
+    std::vector<std::pair<std::string, std::uint64_t>> entries_;
+    std::map<std::string, std::size_t> index_;
+};
+
+/**
+ * Fixed-bucket histogram over uint64 samples (linear buckets plus an
+ * overflow bucket), for distributions like dependency distance or
+ * miss latency.
+ */
+class Histogram
+{
+  public:
+    Histogram(std::uint64_t bucket_width, std::size_t num_buckets)
+        : width_(bucket_width ? bucket_width : 1),
+          counts_(num_buckets + 1, 0)
+    {}
+
+    void
+    sample(std::uint64_t value, std::uint64_t count = 1)
+    {
+        std::size_t b = value / width_;
+        if (b >= counts_.size() - 1)
+            b = counts_.size() - 1;
+        counts_[b] += count;
+        total_ += count;
+        sum_ += value * count;
+    }
+
+    std::uint64_t total() const { return total_; }
+    double meanValue() const { return total_ ? double(sum_) / total_ : 0.0; }
+    const std::vector<std::uint64_t> &buckets() const { return counts_; }
+    std::uint64_t bucketWidth() const { return width_; }
+
+  private:
+    std::uint64_t width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+    std::uint64_t sum_ = 0;
+};
+
+} // namespace trb
+
+#endif // TRB_COMMON_STATS_HH

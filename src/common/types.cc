@@ -1,0 +1,38 @@
+#include "common/types.hh"
+
+namespace trb
+{
+
+const char *
+instClassName(InstClass c)
+{
+    switch (c) {
+      case InstClass::Alu: return "alu";
+      case InstClass::Load: return "load";
+      case InstClass::Store: return "store";
+      case InstClass::CondBranch: return "cond-branch";
+      case InstClass::UncondDirectBranch: return "uncond-direct";
+      case InstClass::UncondIndirectBranch: return "uncond-indirect";
+      case InstClass::Fp: return "fp";
+      case InstClass::SlowAlu: return "slow-alu";
+      case InstClass::Undef: return "undef";
+    }
+    return "invalid";
+}
+
+const char *
+branchTypeName(BranchType t)
+{
+    switch (t) {
+      case BranchType::NotBranch: return "not-branch";
+      case BranchType::DirectJump: return "direct-jump";
+      case BranchType::IndirectJump: return "indirect-jump";
+      case BranchType::Conditional: return "conditional";
+      case BranchType::DirectCall: return "direct-call";
+      case BranchType::IndirectCall: return "indirect-call";
+      case BranchType::Return: return "return";
+    }
+    return "invalid";
+}
+
+} // namespace trb

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Fundamental types and architectural constants shared by every TraceRebase
+ * module: addresses, register identifiers, the CVP-1 instruction class
+ * enumeration and the special ChampSim (x86) register numbers the converter
+ * manipulates.
+ */
+
+#ifndef TRB_COMMON_TYPES_HH
+#define TRB_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <string>
+
+namespace trb
+{
+
+/** A byte address in the simulated (traced) address space. */
+using Addr = std::uint64_t;
+
+/** A cycle count. */
+using Cycle = std::uint64_t;
+
+/** An architectural register identifier as stored in trace records. */
+using RegId = std::uint8_t;
+
+/** Cacheline size used throughout (CVP-1 / ChampSim convention). */
+constexpr unsigned kLineBytes = 64;
+
+/** Extract the cacheline (block) address of a byte address. */
+constexpr Addr
+lineAddr(Addr a)
+{
+    return a & ~static_cast<Addr>(kLineBytes - 1);
+}
+
+/** Cacheline index (block number) of a byte address. */
+constexpr Addr
+lineNum(Addr a)
+{
+    return a / kLineBytes;
+}
+
+/**
+ * Instruction classes as encoded in the CVP-1 trace format.
+ *
+ * The numeric values mirror the enumeration in the public CVP-1 trace
+ * reader so that the binary format stays compatible with our
+ * re-implementation of it.
+ */
+enum class InstClass : std::uint8_t
+{
+    Alu = 0,
+    Load = 1,
+    Store = 2,
+    CondBranch = 3,
+    UncondDirectBranch = 4,
+    UncondIndirectBranch = 5,
+    Fp = 6,
+    SlowAlu = 7,
+    Undef = 8,
+};
+
+/** Human-readable name of a CVP-1 instruction class. */
+const char *instClassName(InstClass c);
+
+/** True for the three CVP-1 branch classes. */
+constexpr bool
+isBranch(InstClass c)
+{
+    return c == InstClass::CondBranch || c == InstClass::UncondDirectBranch ||
+           c == InstClass::UncondIndirectBranch;
+}
+
+/** True for loads and stores. */
+constexpr bool
+isMem(InstClass c)
+{
+    return c == InstClass::Load || c == InstClass::Store;
+}
+
+/**
+ * Aarch64 register-space constants used by the CVP-1 traces.
+ *
+ * CVP-1 traces only record general purpose registers (and SIMD registers in
+ * a disjoint range); special purpose registers such as the flags are absent,
+ * which is precisely the gap the flag-reg improvement patches.
+ */
+namespace aarch64
+{
+
+/** The link register: calls write it, returns read it. */
+constexpr RegId kLinkReg = 30;
+
+/** Stack pointer register number as recorded in CVP-1 traces. */
+constexpr RegId kSp = 31;
+
+/** First SIMD/FP register (V0) in the CVP-1 flat register space. */
+constexpr RegId kVecBase = 32;
+
+/** Number of registers representable in the CVP-1 flat register space. */
+constexpr unsigned kNumRegs = 64;
+
+} // namespace aarch64
+
+/**
+ * ChampSim (x86) special register numbers.
+ *
+ * ChampSim deduces branch types from these registers; the converter
+ * therefore writes them into the converted records.  Values follow the
+ * ChampSim source (REG_STACK_POINTER = 6, REG_FLAGS = 25,
+ * REG_INSTRUCTION_POINTER = 26).  Register 56 is the scratch "reads
+ * something else" register the original converter used for indirect
+ * branches (the paper calls it X56).
+ */
+namespace champsim
+{
+
+constexpr RegId kStackPointer = 6;
+constexpr RegId kFlags = 25;
+constexpr RegId kInstructionPointer = 26;
+constexpr RegId kOtherReg = 56;
+
+/** Maximum destination registers in a ChampSim trace record. */
+constexpr unsigned kMaxDst = 2;
+/** Maximum source registers in a ChampSim trace record. */
+constexpr unsigned kMaxSrc = 4;
+/** Maximum destination memory operands in a ChampSim trace record. */
+constexpr unsigned kMaxMemDst = 2;
+/** Maximum source memory operands in a ChampSim trace record. */
+constexpr unsigned kMaxMemSrc = 4;
+
+} // namespace champsim
+
+/**
+ * Branch types distinguished by ChampSim (deduced from register usage).
+ */
+enum class BranchType : std::uint8_t
+{
+    NotBranch = 0,
+    DirectJump,
+    IndirectJump,
+    Conditional,
+    DirectCall,
+    IndirectCall,
+    Return,
+};
+
+/** Human-readable name of a deduced branch type. */
+const char *branchTypeName(BranchType t);
+
+} // namespace trb
+
+#endif // TRB_COMMON_TYPES_HH

@@ -1,0 +1,72 @@
+#include "convert/improvements.hh"
+
+namespace trb
+{
+
+bool
+parseImprovementSet(const std::string &name, ImprovementSet &out)
+{
+    if (name == "No_imp") {
+        out = kImpNone;
+    } else if (name == "All_imps") {
+        out = kAllImps;
+    } else if (name == "Memory_imps") {
+        out = kMemoryImps;
+    } else if (name == "Branch_imps") {
+        out = kBranchImps;
+    } else if (name == "IPC1_imps") {
+        out = kIpc1Imps;
+    } else if (name == "imp_mem-regs") {
+        out = kImpMemRegs;
+    } else if (name == "imp_base-update") {
+        out = kImpBaseUpdate;
+    } else if (name == "imp_mem-footprint") {
+        out = kImpMemFootprint;
+    } else if (name == "imp_call-stack") {
+        out = kImpCallStack;
+    } else if (name == "imp_branch-regs") {
+        out = kImpBranchRegs;
+    } else if (name == "imp_flag-regs" || name == "imp_flag-reg") {
+        out = kImpFlagReg;
+    } else {
+        return false;
+    }
+    return true;
+}
+
+std::string
+improvementSetName(ImprovementSet set)
+{
+    switch (set) {
+      case kImpNone: return "No_imp";
+      case kAllImps: return "All_imps";
+      case kMemoryImps: return "Memory_imps";
+      case kBranchImps: return "Branch_imps";
+      case kIpc1Imps: return "IPC1_imps";
+      case kImpMemRegs: return "imp_mem-regs";
+      case kImpBaseUpdate: return "imp_base-update";
+      case kImpMemFootprint: return "imp_mem-footprint";
+      case kImpCallStack: return "imp_call-stack";
+      case kImpBranchRegs: return "imp_branch-regs";
+      case kImpFlagReg: return "imp_flag-regs";
+      default: break;
+    }
+    std::string s = "imps(";
+    if (set & kImpMemRegs)
+        s += "mem-regs,";
+    if (set & kImpBaseUpdate)
+        s += "base-update,";
+    if (set & kImpMemFootprint)
+        s += "mem-footprint,";
+    if (set & kImpCallStack)
+        s += "call-stack,";
+    if (set & kImpBranchRegs)
+        s += "branch-regs,";
+    if (set & kImpFlagReg)
+        s += "flag-regs,";
+    if (s.back() == ',')
+        s.pop_back();
+    return s + ")";
+}
+
+} // namespace trb

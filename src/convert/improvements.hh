@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The six trace-conversion improvements of the paper (its Table 1), as a
+ * bitmask plus the named sets the artifact's CLI exposes (No_imp,
+ * Memory_imps, Branch_imps, All_imps, and the individual imp_* names).
+ */
+
+#ifndef TRB_CONVERT_IMPROVEMENTS_HH
+#define TRB_CONVERT_IMPROVEMENTS_HH
+
+#include <string>
+
+namespace trb
+{
+
+/** Bitmask of converter improvements. */
+enum Improvement : unsigned
+{
+    kImpNone = 0,
+
+    /** Keep all (and only) the CVP-1 destination registers of memory
+     *  instructions; stop inserting X0 into destination-less ones. */
+    kImpMemRegs = 1u << 0,
+
+    /** Split base-updating memory instructions into an ALU and a memory
+     *  micro-op so the base register resolves at ALU latency. */
+    kImpBaseUpdate = 1u << 1,
+
+    /** Emit the second cacheline address of line-crossing accesses and
+     *  align DC ZVA stores. */
+    kImpMemFootprint = 1u << 2,
+
+    /** Only classify X30-reading branches that write nothing as returns;
+     *  X30 read+write branches are calls. */
+    kImpCallStack = 1u << 3,
+
+    /** Preserve the CVP-1 source registers of branches (requires the
+     *  patched ChampSim branch deduction rules). */
+    kImpBranchRegs = 1u << 4,
+
+    /** Give destination-less ALU/FP instructions the flag register as a
+     *  destination so flag-reading conditionals depend on them. */
+    kImpFlagReg = 1u << 5,
+};
+
+using ImprovementSet = unsigned;
+
+constexpr ImprovementSet kMemoryImps =
+    kImpMemRegs | kImpBaseUpdate | kImpMemFootprint;
+constexpr ImprovementSet kBranchImps =
+    kImpCallStack | kImpBranchRegs | kImpFlagReg;
+constexpr ImprovementSet kAllImps = kMemoryImps | kBranchImps;
+
+/** All-improvements minus mem-footprint: the set used to re-rank IPC-1
+ *  (the IPC-1 ChampSim cannot execute multi-source memory records). */
+constexpr ImprovementSet kIpc1Imps = kAllImps & ~kImpMemFootprint;
+
+/**
+ * Parse an improvement name as the artifact CLI spells them:
+ * "No_imp", "All_imps", "Memory_imps", "Branch_imps", "IPC1_imps",
+ * "imp_mem-regs", "imp_base-update", "imp_mem-footprint",
+ * "imp_call-stack", "imp_branch-regs", "imp_flag-regs".
+ *
+ * Returns true and fills @p out on success.
+ */
+bool parseImprovementSet(const std::string &name, ImprovementSet &out);
+
+/** Canonical printable name for one of the sets above (best effort). */
+std::string improvementSetName(ImprovementSet set);
+
+} // namespace trb
+
+#endif // TRB_CONVERT_IMPROVEMENTS_HH

@@ -1,0 +1,115 @@
+#include "experiments/experiment.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/env.hh"
+#include "common/stats.hh"
+#include "synth/generator.hh"
+
+namespace trb
+{
+
+const std::vector<NamedSet> &
+figureOneSets()
+{
+    static const std::vector<NamedSet> sets = {
+        {"mem-regs", kImpMemRegs},
+        {"base-update", kImpBaseUpdate},
+        {"mem-footprint", kImpMemFootprint},
+        {"call-stack", kImpCallStack},
+        {"branch-regs", kImpBranchRegs},
+        {"flag-reg", kImpFlagReg},
+        {"Memory", kMemoryImps},
+        {"Branch", kBranchImps},
+        {"All", kAllImps},
+    };
+    return sets;
+}
+
+void
+forEachTrace(const std::vector<TraceSpec> &suite,
+             const std::function<void(std::size_t, const TraceSpec &,
+                                      const CvpTrace &)> &fn)
+{
+    double scale = suiteScaleFromEnv();
+    std::size_t count = std::max<std::size_t>(
+        1, static_cast<std::size_t>(scale * double(suite.size()) + 0.5));
+    count = std::min(count, suite.size());
+    for (std::size_t i = 0; i < count; ++i) {
+        TraceGenerator gen(suite[i].params);
+        CvpTrace trace = gen.generate(suite[i].length);
+        fn(i, suite[i], trace);
+    }
+}
+
+double
+DeltaSeries::geomeanDeltaPercent() const
+{
+    return 100.0 * (geomean(ratio) - 1.0);
+}
+
+unsigned
+DeltaSeries::countAbove(double percent) const
+{
+    unsigned n = 0;
+    for (double r : ratio)
+        if (std::fabs(r - 1.0) * 100.0 > percent)
+            ++n;
+    return n;
+}
+
+std::vector<DeltaSeries>
+runImprovementSweep(const std::vector<TraceSpec> &suite,
+                    const std::vector<NamedSet> &sets,
+                    const CoreParams &params,
+                    std::vector<SimStats> *baseline_out)
+{
+    std::vector<DeltaSeries> series(sets.size());
+    for (std::size_t k = 0; k < sets.size(); ++k)
+        series[k].setName = sets[k].name;
+
+    forEachTrace(suite, [&](std::size_t, const TraceSpec &,
+                            const CvpTrace &cvp) {
+        SimStats base = simulateCvp(cvp, kImpNone, params);
+        if (baseline_out)
+            baseline_out->push_back(base);
+        for (std::size_t k = 0; k < sets.size(); ++k) {
+            SimStats s = simulateCvp(cvp, sets[k].set, params);
+            series[k].ratio.push_back(s.ipc() / base.ipc());
+        }
+    });
+    return series;
+}
+
+double
+writebackLoadFraction(const CvpTrace &trace)
+{
+    std::uint64_t wb_loads = 0;
+    for (const CvpRecord &rec : trace)
+        if (rec.cls == InstClass::Load &&
+            Cvp2ChampSim::inferBaseUpdate(rec).kind != BaseUpdateKind::None)
+            ++wb_loads;
+    return trace.empty() ? 0.0
+                         : static_cast<double>(wb_loads) /
+                               static_cast<double>(trace.size());
+}
+
+std::string
+cell(double v, int width, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%*.*f", width, precision, v);
+    return buf;
+}
+
+std::string
+cell(const std::string &s, int width)
+{
+    char buf[128];
+    std::snprintf(buf, sizeof(buf), "%-*s", width, s.c_str());
+    return buf;
+}
+
+} // namespace trb

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Experiment harness shared by the bench binaries: suite iteration with
+ * per-trace generation (trace-major, so memory stays bounded), the
+ * improvement-set sweep each figure needs, and small table/series
+ * formatting helpers.
+ */
+
+#ifndef TRB_EXPERIMENTS_EXPERIMENT_HH
+#define TRB_EXPERIMENTS_EXPERIMENT_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "convert/cvp2champsim.hh"
+#include "pipeline/sim_stats.hh"
+#include "sim/simulator.hh"
+#include "synth/params.hh"
+
+namespace trb
+{
+
+/** The named improvement sets of Figures 1 and 2, in plot order. */
+struct NamedSet
+{
+    const char *name;
+    ImprovementSet set;
+};
+
+/** mem-regs .. All, the nine series the paper's Figure 1 shows. */
+const std::vector<NamedSet> &figureOneSets();
+
+/**
+ * Iterate a suite trace-major: generate each CVP-1 trace once and hand
+ * it to the callback, then discard it.  Honours TRB_SUITE_SCALE by
+ * dropping a suffix of the suite.
+ */
+void forEachTrace(
+    const std::vector<TraceSpec> &suite,
+    const std::function<void(std::size_t, const TraceSpec &,
+                             const CvpTrace &)> &fn);
+
+/** Per-trace outcome of one improvement set vs the original converter. */
+struct DeltaSeries
+{
+    std::string setName;
+    std::vector<double> ratio;   //!< improved IPC / baseline IPC
+
+    double geomeanDeltaPercent() const;
+    unsigned countAbove(double percent) const;
+};
+
+/**
+ * Run the full Figure 1/2 sweep: for every trace, simulate the original
+ * conversion and each named set, collecting IPC ratios.
+ *
+ * @param baseline_out optional per-trace baseline stats sink
+ */
+std::vector<DeltaSeries> runImprovementSweep(
+    const std::vector<TraceSpec> &suite, const std::vector<NamedSet> &sets,
+    const CoreParams &params, std::vector<SimStats> *baseline_out = nullptr);
+
+/** Fraction of CVP-1 instructions that are writeback (base-update)
+ *  loads, the x-axis of Figure 4. */
+double writebackLoadFraction(const CvpTrace &trace);
+
+/** Format a value into a fixed-width right-aligned cell. */
+std::string cell(double v, int width, int precision);
+std::string cell(const std::string &s, int width);
+
+} // namespace trb
+
+#endif // TRB_EXPERIMENTS_EXPERIMENT_HH

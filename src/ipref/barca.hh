@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Barça (Branch-Agnostic Region Searching Algorithm, Jiménez et al.,
+ * IPC-1): ignore control flow entirely; on a miss, prefetch the
+ * surrounding code region on the theory that nearby lines will be needed
+ * regardless of which way the branches go.
+ */
+
+#ifndef TRB_IPREF_BARCA_HH
+#define TRB_IPREF_BARCA_HH
+
+#include "ipref/instr_prefetcher.hh"
+
+namespace trb
+{
+
+/** Branch-agnostic region prefetcher. */
+class BarcaPrefetcher : public InstrPrefetcher
+{
+  public:
+    explicit BarcaPrefetcher(unsigned ahead = 6, unsigned behind = 2)
+        : ahead_(ahead), behind_(behind)
+    {}
+
+    void
+    onFetch(Addr ip, bool hit, Cycle now, PrefetchPort &port) override
+    {
+        Addr line = lineAddr(ip);
+        if (line == lastLine_)
+            return;
+        lastLine_ = line;
+        if (hit && line != lastRegion_) {
+            // Cheap sequential cover on hits.
+            port.issue(line + kLineBytes, now);
+            return;
+        }
+        if (!hit) {
+            // Miss: search (prefetch) the whole region around it.
+            lastRegion_ = line;
+            for (unsigned d = 1; d <= ahead_; ++d)
+                port.issue(line + d * kLineBytes, now);
+            for (unsigned d = 1; d <= behind_; ++d)
+                if (line >= d * kLineBytes)
+                    port.issue(line - d * kLineBytes, now);
+        }
+    }
+
+    const char *name() const override { return "barca"; }
+
+  private:
+    unsigned ahead_;
+    unsigned behind_;
+    Addr lastLine_ = ~Addr{0};
+    Addr lastRegion_ = ~Addr{0};
+};
+
+} // namespace trb
+
+#endif // TRB_IPREF_BARCA_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * D-JOLT (Distant Jolt, Nakamura et al., IPC-1): long-range prefetching
+ * keyed by the call-path signature.  The insight is that the lines an
+ * instruction stream will miss on are a function of *where the program
+ * came from* several calls ago, so a signature of recent call targets
+ * selects a set of distant miss lines to prefetch ahead of time.
+ */
+
+#ifndef TRB_IPREF_DJOLT_HH
+#define TRB_IPREF_DJOLT_HH
+
+#include <array>
+
+#include "ipref/instr_prefetcher.hh"
+
+namespace trb
+{
+
+/** Call-signature indexed long-range instruction prefetcher. */
+class DJoltPrefetcher : public InstrPrefetcher
+{
+  public:
+    void
+    onBranch(Addr ip, BranchType type, Addr target, bool taken, Cycle now,
+             PrefetchPort &port) override
+    {
+        (void)ip;
+        if (!taken)
+            return;
+        if (type != BranchType::DirectCall &&
+            type != BranchType::IndirectCall && type != BranchType::Return)
+            return;
+
+        // The signature is a hash of a fixed window of recent call
+        // targets, so recurring call paths reproduce it exactly.
+        window_[windowHead_++ % kWindow] = target;
+        signature_ = 0;
+        for (unsigned i = 0; i < kWindow; ++i)
+            signature_ = (signature_ * 0x9e3779b1u) ^
+                         static_cast<std::uint32_t>(window_[i] >> 2);
+        Entry &e = table_[signature_ % table_.size()];
+        if (e.signature == signature_) {
+            for (unsigned i = 0; i < kLinesPerEntry; ++i)
+                if (e.lines[i] != 0)
+                    port.issue(e.lines[i], now);
+        }
+    }
+
+    void
+    onFetch(Addr ip, bool hit, Cycle now, PrefetchPort &/*port*/) override
+    {
+        (void)now;
+        if (hit)
+            return;
+        // Record this miss against the most recent signature.  An
+        // established entry (owned by another signature) ages out via a
+        // small hysteresis counter rather than being reset outright.
+        Entry &e = table_[signature_ % table_.size()];
+        if (e.signature != signature_) {
+            if (e.hysteresis > 0) {
+                --e.hysteresis;
+                return;
+            }
+            e.signature = signature_;
+            e.lines.fill(0);
+            e.hysteresis = 2;
+            trainFill_ = 0;
+        }
+        Addr line = lineAddr(ip);
+        for (unsigned i = 0; i < kLinesPerEntry; ++i)
+            if (e.lines[i] == line)
+                return;
+        if (trainFill_ < kLinesPerEntry)
+            e.lines[trainFill_++] = line;
+        else
+            e.lines[(line >> 6) % kLinesPerEntry] = line;
+    }
+
+    const char *name() const override { return "djolt"; }
+
+  private:
+    static constexpr unsigned kLinesPerEntry = 10;
+
+    struct Entry
+    {
+        std::uint32_t signature = 0;
+        std::uint8_t hysteresis = 0;
+        std::array<Addr, kLinesPerEntry> lines{};
+    };
+
+    static constexpr unsigned kWindow = 4;
+
+    std::array<Entry, 4096> table_{};
+    std::array<Addr, kWindow> window_{};
+    unsigned windowHead_ = 0;
+    std::uint32_t signature_ = 0;
+    unsigned trainFill_ = 0;
+};
+
+} // namespace trb
+
+#endif // TRB_IPREF_DJOLT_HH

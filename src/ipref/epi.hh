@@ -1,0 +1,107 @@
+/**
+ * @file
+ * EPI (the Entangling Instruction Prefetcher, Ros & Jimborean, IPC-1
+ * winner): each miss line is *entangled* with a source line that was
+ * fetched far enough in advance to hide the full miss latency.  When the
+ * source is fetched again, the entangled destination is prefetched --
+ * just in time by construction.
+ */
+
+#ifndef TRB_IPREF_EPI_HH
+#define TRB_IPREF_EPI_HH
+
+#include <array>
+
+#include "ipref/instr_prefetcher.hh"
+
+namespace trb
+{
+
+/** Entangling instruction prefetcher. */
+class EpiPrefetcher : public InstrPrefetcher
+{
+  public:
+    void
+    onFetch(Addr ip, bool hit, Cycle now, PrefetchPort &port) override
+    {
+        Addr line = lineAddr(ip);
+        if (line != lastLine_) {
+            lastLine_ = line;
+
+            // Record the fetch in the history ring (for entangling).
+            history_[histHead_ % history_.size()] = {line, now};
+            ++histHead_;
+
+            // Fire the entangled destinations of this source line.
+            const Entry &e = table_[index(line)];
+            if (e.tag == tagOf(line)) {
+                for (unsigned i = 0; i < kDstPerSrc; ++i)
+                    if (e.dst[i] != 0)
+                        port.issue(e.dst[i], now);
+            }
+        }
+
+        if (hit)
+            return;
+
+        // Entangle: find a source fetched at least kLatency cycles ago.
+        Addr source = 0;
+        for (std::size_t back = 1; back < history_.size(); ++back) {
+            const Fetch &f =
+                history_[(histHead_ + history_.size() - 1 - back) %
+                         history_.size()];
+            if (f.line == 0 || f.line == line)
+                continue;
+            if (now - f.cycle >= kLatency) {
+                source = f.line;
+                break;
+            }
+        }
+        if (source == 0)
+            return;
+        Entry &e = table_[index(source)];
+        if (e.tag != tagOf(source)) {
+            e.tag = tagOf(source);
+            e.dst.fill(0);
+        }
+        for (unsigned i = 0; i < kDstPerSrc; ++i)
+            if (e.dst[i] == line)
+                return;
+        e.dst[nextSlot_++ % kDstPerSrc] = line;
+    }
+
+    const char *name() const override { return "epi"; }
+
+  private:
+    static constexpr unsigned kDstPerSrc = 6;
+    static constexpr Cycle kLatency = 40;
+
+    struct Fetch
+    {
+        Addr line = 0;
+        Cycle cycle = 0;
+    };
+
+    struct Entry
+    {
+        std::uint32_t tag = 0;
+        std::array<Addr, kDstPerSrc> dst{};
+    };
+
+    static std::size_t index(Addr line) { return (line >> 6) % 8192; }
+    static std::uint32_t
+    tagOf(Addr line)
+    {
+        return static_cast<std::uint32_t>(line >> 6);
+    }
+
+    std::array<Entry, 8192> table_{};
+    std::array<Fetch, 128> history_{};
+    std::size_t histHead_ = 0;
+    unsigned nextSlot_ = 0;
+    Addr lastLine_ = ~Addr{0};
+};
+
+} // namespace trb
+
+#endif // TRB_IPREF_EPI_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * FNL+MMA (Seznec, IPC-1): Footprint Next Line + Multiple Miss Ahead.
+ * FNL predicts, per line, whether the *next* line will be needed (so
+ * sequential prefetch only spends bandwidth where it historically paid
+ * off); MMA records the global miss sequence and, on a miss, replays the
+ * next few misses that followed it last time.
+ */
+
+#ifndef TRB_IPREF_FNL_MMA_HH
+#define TRB_IPREF_FNL_MMA_HH
+
+#include <array>
+
+#include "common/counters.hh"
+#include "ipref/instr_prefetcher.hh"
+
+namespace trb
+{
+
+/** Footprint-next-line + multiple-miss-ahead instruction prefetcher. */
+class FnlMmaPrefetcher : public InstrPrefetcher
+{
+  public:
+    void
+    onFetch(Addr ip, bool hit, Cycle now, PrefetchPort &port) override
+    {
+        Addr line = lineAddr(ip);
+        if (line != lastLine_) {
+            // FNL training: was the transition sequential?
+            if (lastLine_ != ~Addr{0})
+                fnl_[index(lastLine_)].update(line ==
+                                              lastLine_ + kLineBytes);
+            lastLine_ = line;
+
+            // FNL prediction: walk forward while the footprint says yes.
+            Addr next = line;
+            for (unsigned d = 0; d < kMaxNextLines; ++d) {
+                if (!fnl_[index(next)].taken())
+                    break;
+                next += kLineBytes;
+                port.issue(next, now);
+            }
+        }
+
+        if (hit)
+            return;
+
+        // MMA: look up where this miss last appeared in the miss log and
+        // replay the misses that followed it.
+        std::uint32_t &pos = missIndex_[index(line)];
+        if (missLog_[pos % missLog_.size()] == line) {
+            for (unsigned a = 1; a <= kMissAhead; ++a) {
+                Addr ahead = missLog_[(pos + a) % missLog_.size()];
+                if (ahead != 0)
+                    port.issue(ahead, now);
+            }
+        }
+        // Append to the log and remember this miss's position.
+        missLog_[logHead_ % missLog_.size()] = line;
+        pos = logHead_;
+        ++logHead_;
+    }
+
+    const char *name() const override { return "fnl-mma"; }
+
+  private:
+    static constexpr unsigned kMaxNextLines = 4;
+    static constexpr unsigned kMissAhead = 6;
+
+    static std::size_t index(Addr line) { return (line >> 6) % 8192; }
+
+    std::array<SatCounter, 8192> fnl_{};
+    std::array<Addr, 4096> missLog_{};
+    std::array<std::uint32_t, 8192> missIndex_{};
+    std::uint32_t logHead_ = 0;
+    Addr lastLine_ = ~Addr{0};
+};
+
+} // namespace trb
+
+#endif // TRB_IPREF_FNL_MMA_HH

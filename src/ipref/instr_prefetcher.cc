@@ -1,0 +1,53 @@
+#include "ipref/instr_prefetcher.hh"
+
+#include <vector>
+
+#include "ipref/barca.hh"
+#include "ipref/djolt.hh"
+#include "ipref/epi.hh"
+#include "ipref/fnl_mma.hh"
+#include "ipref/jip.hh"
+#include "ipref/mana.hh"
+#include "ipref/next_line.hh"
+#include "ipref/pips.hh"
+#include "ipref/tap.hh"
+
+namespace trb
+{
+
+std::unique_ptr<InstrPrefetcher>
+makeInstrPrefetcher(const std::string &name)
+{
+    if (name == "no")
+        return std::make_unique<NoInstrPrefetcher>();
+    if (name == "next-line")
+        return std::make_unique<NextLineInstrPrefetcher>();
+    if (name == "djolt")
+        return std::make_unique<DJoltPrefetcher>();
+    if (name == "jip")
+        return std::make_unique<JipPrefetcher>();
+    if (name == "mana")
+        return std::make_unique<ManaPrefetcher>();
+    if (name == "fnl-mma")
+        return std::make_unique<FnlMmaPrefetcher>();
+    if (name == "pips")
+        return std::make_unique<PipsPrefetcher>();
+    if (name == "epi")
+        return std::make_unique<EpiPrefetcher>();
+    if (name == "barca")
+        return std::make_unique<BarcaPrefetcher>();
+    if (name == "tap")
+        return std::make_unique<TapPrefetcher>();
+    return nullptr;
+}
+
+const std::vector<std::string> &
+ipc1PrefetcherNames()
+{
+    // The eight IPC-1 submissions the paper re-evaluates (Table 3).
+    static const std::vector<std::string> names = {
+        "djolt", "jip", "mana", "fnl-mma", "pips", "epi", "barca", "tap"};
+    return names;
+}
+
+} // namespace trb

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Instruction-prefetcher interface, as exposed to IPC-1 style L1I
+ * prefetchers by the core's front-end.  Implementations observe demand
+ * fetches and branch outcomes and issue line prefetches through the
+ * PrefetchPort the core provides.
+ */
+
+#ifndef TRB_IPREF_INSTR_PREFETCHER_HH
+#define TRB_IPREF_INSTR_PREFETCHER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+#include <string>
+
+#include "common/types.hh"
+
+namespace trb
+{
+
+/** Sink for prefetch requests (implemented by the core front-end). */
+class PrefetchPort
+{
+  public:
+    virtual ~PrefetchPort() = default;
+
+    /**
+     * Request an L1I fill of the line containing @p addr at cycle
+     * @p now.  @return true if a fill was started.
+     */
+    virtual bool issue(Addr addr, Cycle now) = 0;
+
+    /** True if the line is usable in the L1I at cycle @p now. */
+    virtual bool present(Addr addr, Cycle now) const = 0;
+};
+
+/** Base class of instruction prefetchers (IPC-1 plug-in analogue). */
+class InstrPrefetcher
+{
+  public:
+    virtual ~InstrPrefetcher() = default;
+
+    /**
+     * A demand instruction fetch of @p ip was performed.
+     * @param hit whether the L1I had the line
+     */
+    virtual void
+    onFetch(Addr ip, bool hit, Cycle now, PrefetchPort &port)
+    {
+        (void)ip;
+        (void)hit;
+        (void)now;
+        (void)port;
+    }
+
+    /**
+     * A branch at @p ip was fetched with its resolved behaviour
+     * (trace-driven front-ends learn branch outcomes immediately).
+     */
+    virtual void
+    onBranch(Addr ip, BranchType type, Addr target, bool taken, Cycle now,
+             PrefetchPort &port)
+    {
+        (void)ip;
+        (void)type;
+        (void)target;
+        (void)taken;
+        (void)now;
+        (void)port;
+    }
+
+    virtual const char *name() const = 0;
+};
+
+/** The no-op baseline every speedup in Table 3 is measured against. */
+class NoInstrPrefetcher : public InstrPrefetcher
+{
+  public:
+    const char *name() const override { return "no"; }
+};
+
+/** Factory: construct an IPC-1 prefetcher by name.
+ *
+ * Known names: no, next-line, djolt, jip, mana, fnl-mma, pips, epi,
+ * barca, tap.  Returns nullptr for unknown names.
+ */
+std::unique_ptr<InstrPrefetcher> makeInstrPrefetcher(
+    const std::string &name);
+
+/** The eight IPC-1 submissions, in the paper's Table 3 order. */
+const std::vector<std::string> &ipc1PrefetcherNames();
+
+} // namespace trb
+
+#endif // TRB_IPREF_INSTR_PREFETCHER_HH

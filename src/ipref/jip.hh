@@ -1,0 +1,83 @@
+/**
+ * @file
+ * JIP (Run-Jump-Run, Gupta/Kalani/Panda, IPC-1): instruction streams
+ * alternate sequential "runs" with "jumps" to distant code.  A jump
+ * table records, for each miss line, the non-sequential miss line that
+ * followed it; prefetching runs sequentially and follows jump pointers.
+ */
+
+#ifndef TRB_IPREF_JIP_HH
+#define TRB_IPREF_JIP_HH
+
+#include <array>
+
+#include "ipref/instr_prefetcher.hh"
+
+namespace trb
+{
+
+/** Jump-pointer instruction prefetcher. */
+class JipPrefetcher : public InstrPrefetcher
+{
+  public:
+    void
+    onFetch(Addr ip, bool hit, Cycle now, PrefetchPort &port) override
+    {
+        Addr line = lineAddr(ip);
+        if (line == lastLine_)
+            return;
+        lastLine_ = line;
+
+        // Run: keep a short sequential stream ahead.
+        for (unsigned d = 1; d <= kRunDegree; ++d)
+            port.issue(line + d * kLineBytes, now);
+
+        // Jump: follow the recorded pointer, then run from there.
+        const Entry &e = table_[index(line)];
+        if (e.tag == tagOf(line) && e.target != 0) {
+            port.issue(e.target, now);
+            for (unsigned d = 1; d <= kJumpRunDegree; ++d)
+                port.issue(e.target + d * kLineBytes, now);
+        }
+
+        if (hit)
+            return;
+
+        // Train: a non-sequential miss creates a jump pointer from the
+        // previous miss line.
+        if (lastMissLine_ != 0 && line != lastMissLine_ + kLineBytes &&
+            line != lastMissLine_) {
+            Entry &prev = table_[index(lastMissLine_)];
+            prev.tag = tagOf(lastMissLine_);
+            prev.target = line;
+        }
+        lastMissLine_ = line;
+    }
+
+    const char *name() const override { return "jip"; }
+
+  private:
+    static constexpr unsigned kRunDegree = 2;
+    static constexpr unsigned kJumpRunDegree = 2;
+
+    struct Entry
+    {
+        std::uint32_t tag = 0;
+        Addr target = 0;
+    };
+
+    static std::size_t index(Addr line) { return (line >> 6) % 8192; }
+    static std::uint32_t
+    tagOf(Addr line)
+    {
+        return static_cast<std::uint32_t>(line >> 6);
+    }
+
+    std::array<Entry, 8192> table_{};
+    Addr lastLine_ = ~Addr{0};
+    Addr lastMissLine_ = 0;
+};
+
+} // namespace trb
+
+#endif // TRB_IPREF_JIP_HH

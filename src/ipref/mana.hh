@@ -1,0 +1,92 @@
+/**
+ * @file
+ * MANA (Ansari et al., IPC-1): spatial-region instruction prefetching.
+ * Code touched shortly after a trigger line clusters into a compact
+ * region footprint; MANA records the footprint as a bit vector anchored
+ * at the trigger and replays it when the trigger is fetched again.
+ */
+
+#ifndef TRB_IPREF_MANA_HH
+#define TRB_IPREF_MANA_HH
+
+#include <array>
+
+#include "ipref/instr_prefetcher.hh"
+
+namespace trb
+{
+
+/** Spatial-region (footprint) instruction prefetcher. */
+class ManaPrefetcher : public InstrPrefetcher
+{
+  public:
+    void
+    onFetch(Addr ip, bool hit, Cycle now, PrefetchPort &port) override
+    {
+        (void)hit;
+        Addr line = lineAddr(ip);
+        if (line == lastLine_)
+            return;
+        lastLine_ = line;
+
+        Addr region = line & ~kRegionMask;
+        if (region != currentRegion_) {
+            // Region change: commit the footprint being recorded and
+            // replay the stored footprint of the new region.
+            commit();
+            currentRegion_ = region;
+            recording_ = 0;
+
+            const Entry &e = table_[index(region)];
+            if (e.tag == tagOf(region)) {
+                for (unsigned b = 0; b < kLinesPerRegion; ++b)
+                    if (e.footprint & (1u << b))
+                        port.issue(region + b * kLineBytes, now);
+            }
+        }
+        unsigned bit = static_cast<unsigned>((line - region) / kLineBytes);
+        recording_ |= 1u << bit;
+    }
+
+    const char *name() const override { return "mana"; }
+
+  private:
+    static constexpr unsigned kLinesPerRegion = 16;
+    static constexpr Addr kRegionMask = kLinesPerRegion * kLineBytes - 1;
+
+    struct Entry
+    {
+        std::uint32_t tag = 0;
+        std::uint32_t footprint = 0;
+    };
+
+    static std::size_t index(Addr region) { return (region >> 10) % 4096; }
+    static std::uint32_t
+    tagOf(Addr region)
+    {
+        return static_cast<std::uint32_t>(region >> 10);
+    }
+
+    void
+    commit()
+    {
+        if (currentRegion_ == ~Addr{0} || recording_ == 0)
+            return;
+        Entry &e = table_[index(currentRegion_)];
+        if (e.tag == tagOf(currentRegion_))
+            e.footprint |= recording_;
+        else {
+            e.tag = tagOf(currentRegion_);
+            e.footprint = recording_;
+        }
+    }
+
+    std::array<Entry, 4096> table_{};
+    Addr lastLine_ = ~Addr{0};
+    Addr currentRegion_ = ~Addr{0};
+    std::uint32_t recording_ = 0;
+};
+
+} // namespace trb
+
+#endif // TRB_IPREF_MANA_HH

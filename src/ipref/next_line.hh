@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Sequential next-line instruction prefetcher: the classic baseline that
+ * fetches the next N lines after every demand fetch.
+ */
+
+#ifndef TRB_IPREF_NEXT_LINE_HH
+#define TRB_IPREF_NEXT_LINE_HH
+
+#include "ipref/instr_prefetcher.hh"
+
+namespace trb
+{
+
+/** Prefetch line+1..line+degree on every demand fetch. */
+class NextLineInstrPrefetcher : public InstrPrefetcher
+{
+  public:
+    explicit NextLineInstrPrefetcher(unsigned degree = 2)
+        : degree_(degree)
+    {}
+
+    void
+    onFetch(Addr ip, bool /*hit*/, Cycle now, PrefetchPort &port) override
+    {
+        Addr line = lineAddr(ip);
+        if (line == lastLine_)
+            return;
+        lastLine_ = line;
+        for (unsigned d = 1; d <= degree_; ++d)
+            port.issue(line + d * kLineBytes, now);
+    }
+
+    const char *name() const override { return "next-line"; }
+
+  private:
+    unsigned degree_;
+    Addr lastLine_ = ~Addr{0};
+};
+
+} // namespace trb
+
+#endif // TRB_IPREF_NEXT_LINE_HH

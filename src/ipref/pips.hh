@@ -1,0 +1,87 @@
+/**
+ * @file
+ * PIPS (Michaud, IPC-1): Prefetching Instructions with Probabilistic
+ * Scouts.  A scout starts at the current line and walks the line-
+ * successor graph, following only edges whose observed probability is
+ * high, issuing prefetches along the way.
+ */
+
+#ifndef TRB_IPREF_PIPS_HH
+#define TRB_IPREF_PIPS_HH
+
+#include <array>
+
+#include "ipref/instr_prefetcher.hh"
+
+namespace trb
+{
+
+/** Probabilistic-scout instruction prefetcher. */
+class PipsPrefetcher : public InstrPrefetcher
+{
+  public:
+    void
+    onFetch(Addr ip, bool hit, Cycle now, PrefetchPort &port) override
+    {
+        (void)hit;
+        Addr line = lineAddr(ip);
+        if (line == lastLine_)
+            return;
+
+        // Train the successor edge from the previous line.
+        if (lastLine_ != ~Addr{0}) {
+            Entry &e = table_[index(lastLine_)];
+            if (e.tag != tagOf(lastLine_)) {
+                e.tag = tagOf(lastLine_);
+                e.successor = line;
+                e.confidence = 1;
+            } else if (e.successor == line) {
+                if (e.confidence < 7)
+                    ++e.confidence;
+            } else if (e.confidence <= 1) {
+                e.successor = line;
+                e.confidence = 1;
+            } else {
+                --e.confidence;
+            }
+        }
+        lastLine_ = line;
+
+        // Scout: follow high-probability successor edges.
+        Addr scout = line;
+        for (unsigned depth = 0; depth < kScoutDepth; ++depth) {
+            const Entry &e = table_[index(scout)];
+            if (e.tag != tagOf(scout) || e.confidence < kThreshold)
+                break;
+            scout = e.successor;
+            port.issue(scout, now);
+        }
+    }
+
+    const char *name() const override { return "pips"; }
+
+  private:
+    static constexpr unsigned kScoutDepth = 5;
+    static constexpr unsigned kThreshold = 2;
+
+    struct Entry
+    {
+        std::uint32_t tag = 0;
+        Addr successor = 0;
+        std::uint8_t confidence = 0;
+    };
+
+    static std::size_t index(Addr line) { return (line >> 6) % 16384; }
+    static std::uint32_t
+    tagOf(Addr line)
+    {
+        return static_cast<std::uint32_t>(line >> 6);
+    }
+
+    std::array<Entry, 16384> table_{};
+    Addr lastLine_ = ~Addr{0};
+};
+
+} // namespace trb
+
+#endif // TRB_IPREF_PIPS_HH

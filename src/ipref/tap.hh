@@ -1,0 +1,59 @@
+/**
+ * @file
+ * TAP (Temporal Ancestry Prefetcher, Gober et al., IPC-1): a temporal-
+ * stream prefetcher over the instruction miss sequence.  The global miss
+ * log is the "ancestry"; each miss remembers its position, and a
+ * recurrence replays its descendants.
+ */
+
+#ifndef TRB_IPREF_TAP_HH
+#define TRB_IPREF_TAP_HH
+
+#include <array>
+
+#include "ipref/instr_prefetcher.hh"
+
+namespace trb
+{
+
+/** Temporal-ancestry (miss-stream replay) instruction prefetcher. */
+class TapPrefetcher : public InstrPrefetcher
+{
+  public:
+    void
+    onFetch(Addr ip, bool hit, Cycle now, PrefetchPort &port) override
+    {
+        if (hit)
+            return;
+        Addr line = lineAddr(ip);
+
+        // Replay descendants from the last recorded occurrence.
+        std::uint32_t &pos = lastPos_[index(line)];
+        if (log_[pos % log_.size()] == line) {
+            for (unsigned a = 1; a <= kReplayDepth; ++a) {
+                Addr desc = log_[(pos + a) % log_.size()];
+                if (desc != 0)
+                    port.issue(desc, now);
+            }
+        }
+
+        log_[head_ % log_.size()] = line;
+        pos = head_;
+        ++head_;
+    }
+
+    const char *name() const override { return "tap"; }
+
+  private:
+    static constexpr unsigned kReplayDepth = 6;
+
+    static std::size_t index(Addr line) { return (line >> 6) % 16384; }
+
+    std::array<Addr, 8192> log_{};
+    std::array<std::uint32_t, 16384> lastPos_{};
+    std::uint32_t head_ = 0;
+};
+
+} // namespace trb
+
+#endif // TRB_IPREF_TAP_HH

@@ -1,0 +1,64 @@
+#include "pipeline/sim_stats.hh"
+
+namespace trb
+{
+
+StatSet
+SimStats::toStatSet() const
+{
+    StatSet s;
+    s.set("instructions", instructions);
+    s.set("cycles", cycles);
+    s.set("branches", branches);
+    s.set("branches.taken", takenBranches);
+    s.set("branches.mispredicts", branchMispredicts);
+    s.set("branches.direction_mispredicts", directionMispredicts);
+    s.set("branches.target_mispredicts", targetMispredicts);
+    for (int t = 1; t < 7; ++t) {
+        std::string base =
+            std::string("branch.") + branchTypeName(static_cast<BranchType>(t));
+        s.set(base + ".count", typeCount[t]);
+        s.set(base + ".mispredicts", typeMispredicts[t]);
+        s.set(base + ".target_mispredicts", typeTargetMispredicts[t]);
+    }
+    s.set("l1i.accesses", l1iAccesses);
+    s.set("l1i.misses", l1iMisses);
+    s.set("l1d.accesses", l1dAccesses);
+    s.set("l1d.misses", l1dMisses);
+    s.set("l2.accesses", l2Accesses);
+    s.set("l2.misses", l2Misses);
+    s.set("llc.accesses", llcAccesses);
+    s.set("llc.misses", llcMisses);
+    s.set("prefetch.issued", prefetchesIssued);
+    return s;
+}
+
+SimStats
+SimStats::operator-(const SimStats &base) const
+{
+    SimStats d = *this;
+    d.instructions -= base.instructions;
+    d.cycles -= base.cycles;
+    d.branches -= base.branches;
+    d.takenBranches -= base.takenBranches;
+    d.branchMispredicts -= base.branchMispredicts;
+    d.directionMispredicts -= base.directionMispredicts;
+    d.targetMispredicts -= base.targetMispredicts;
+    for (int t = 0; t < 7; ++t) {
+        d.typeCount[t] -= base.typeCount[t];
+        d.typeMispredicts[t] -= base.typeMispredicts[t];
+        d.typeTargetMispredicts[t] -= base.typeTargetMispredicts[t];
+    }
+    d.l1iAccesses -= base.l1iAccesses;
+    d.l1iMisses -= base.l1iMisses;
+    d.l1dAccesses -= base.l1dAccesses;
+    d.l1dMisses -= base.l1dMisses;
+    d.l2Accesses -= base.l2Accesses;
+    d.l2Misses -= base.l2Misses;
+    d.llcAccesses -= base.llcAccesses;
+    d.llcMisses -= base.llcMisses;
+    d.prefetchesIssued -= base.prefetchesIssued;
+    return d;
+}
+
+} // namespace trb

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Simulation statistics: the numbers the paper's tables and figures are
+ * made of -- IPC, branch MPKI split into direction and (taken-branch)
+ * target components, per-branch-type mispredictions, and per-level cache
+ * MPKIs.
+ */
+
+#ifndef TRB_PIPELINE_SIM_STATS_HH
+#define TRB_PIPELINE_SIM_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace trb
+{
+
+/** Measurement-phase statistics of one simulation. */
+struct SimStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t cycles = 0;
+
+    std::uint64_t branches = 0;
+    std::uint64_t takenBranches = 0;
+    std::uint64_t branchMispredicts = 0;   //!< direction or target
+    std::uint64_t directionMispredicts = 0;
+    std::uint64_t targetMispredicts = 0;   //!< on taken branches
+
+    /** Indexed by BranchType (0..6). */
+    std::array<std::uint64_t, 7> typeCount{};
+    std::array<std::uint64_t, 7> typeMispredicts{};
+    std::array<std::uint64_t, 7> typeTargetMispredicts{};
+
+    std::uint64_t l1iAccesses = 0, l1iMisses = 0;
+    std::uint64_t l1dAccesses = 0, l1dMisses = 0;
+    std::uint64_t l2Accesses = 0, l2Misses = 0;
+    std::uint64_t llcAccesses = 0, llcMisses = 0;
+    std::uint64_t prefetchesIssued = 0;
+
+    double
+    ipc() const
+    {
+        return cycles ? static_cast<double>(instructions) / cycles : 0.0;
+    }
+
+    double branchMpki() const { return mpki(branchMispredicts, instructions); }
+    double directionMpki() const
+    {
+        return mpki(directionMispredicts, instructions);
+    }
+    double targetMpki() const { return mpki(targetMispredicts, instructions); }
+
+    /** Return-target mispredictions per kilo instruction (Fig. 5). */
+    double
+    returnMpki() const
+    {
+        return mpki(typeTargetMispredicts[static_cast<int>(
+                        BranchType::Return)],
+                    instructions);
+    }
+
+    double l1iMpki() const { return mpki(l1iMisses, instructions); }
+    double l1dMpki() const { return mpki(l1dMisses, instructions); }
+    double l2Mpki() const { return mpki(l2Misses, instructions); }
+    double llcMpki() const { return mpki(llcMisses, instructions); }
+
+    /** All counters as a StatSet (for reports). */
+    StatSet toStatSet() const;
+
+    /** Phase arithmetic: measurement = end snapshot - start snapshot. */
+    SimStats operator-(const SimStats &base) const;
+};
+
+} // namespace trb
+
+#endif // TRB_PIPELINE_SIM_STATS_HH

@@ -1,0 +1,56 @@
+#include "sim/simulator.hh"
+
+#include <algorithm>
+
+namespace trb
+{
+
+CoreParams
+modernConfig()
+{
+    CoreParams p;
+    p.decoupledFrontEnd = true;
+    p.idealTargets = false;
+    p.rules = DeductionRules::Patched;
+    p.dirPred = DirPredKind::TageScL;
+    p.btbEntries = 16384;
+    p.rasEntries = 64;
+    p.mem.l1dIpStride = true;
+    p.mem.l2NextLine = true;
+    return p;
+}
+
+CoreParams
+ipc1Config()
+{
+    CoreParams p;
+    p.decoupledFrontEnd = false;   // pre-FDIP ChampSim front-end
+    p.idealTargets = true;         // the contest's ideal target predictor
+    p.rules = DeductionRules::Patched;   // Section 3.2.2 patch applied
+    p.dirPred = DirPredKind::TageScL;
+    p.mem.l1dIpStride = true;
+    p.mem.l2NextLine = false;
+    return p;
+}
+
+SimStats
+simulateChampSim(const ChampSimTrace &trace, const CoreParams &params,
+                 double warmupFraction, InstrPrefetcher *ipref)
+{
+    O3Core core(params, ipref);
+    auto warmup = static_cast<std::uint64_t>(
+        warmupFraction * static_cast<double>(trace.size()));
+    return core.run(trace, warmup);
+}
+
+SimStats
+simulateCvp(const CvpTrace &cvp, ImprovementSet imps,
+            const CoreParams &params, double warmupFraction,
+            InstrPrefetcher *ipref)
+{
+    Cvp2ChampSim conv(imps);
+    ChampSimTrace trace = conv.convert(cvp);
+    return simulateChampSim(trace, params, warmupFraction, ipref);
+}
+
+} // namespace trb

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Simulator facade: the two configurations the paper evaluates on, and
+ * one-call helpers that run a CVP-1 trace through conversion and the
+ * core model.
+ *
+ *  - modernConfig(): the Section 4 setup -- decoupled front-end, 16K BTB,
+ *    TAGE-SC-L + ITTAGE, ip-stride at L1D and next-line at L2, patched
+ *    branch deduction rules.
+ *  - ipc1Config(): the IPC-1 contest setup -- coupled front-end with an
+ *    ideal branch-target predictor and a pluggable L1I prefetcher (the
+ *    paper's Section 4.4 re-evaluation, which also carries the branch
+ *    identification patch).
+ */
+
+#ifndef TRB_SIM_SIMULATOR_HH
+#define TRB_SIM_SIMULATOR_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "convert/cvp2champsim.hh"
+#include "ipref/instr_prefetcher.hh"
+#include "pipeline/core_params.hh"
+#include "pipeline/o3core.hh"
+#include "pipeline/sim_stats.hh"
+#include "trace/cvp_trace.hh"
+
+namespace trb
+{
+
+/** The paper's main-branch ChampSim configuration (Section 4). */
+CoreParams modernConfig();
+
+/** The IPC-1 contest configuration (Section 4.4). */
+CoreParams ipc1Config();
+
+/**
+ * One full experiment step: convert @p cvp under @p imps and simulate.
+ *
+ * @param warmupFraction leading fraction of the *converted* trace whose
+ *        statistics are discarded (the IPC-1 methodology warms up half)
+ * @param ipref optional instruction prefetcher plugged into the L1I
+ */
+SimStats simulateCvp(const CvpTrace &cvp, ImprovementSet imps,
+                     const CoreParams &params, double warmupFraction = 0.0,
+                     InstrPrefetcher *ipref = nullptr);
+
+/** Simulate an already-converted ChampSim trace. */
+SimStats simulateChampSim(const ChampSimTrace &trace,
+                          const CoreParams &params,
+                          double warmupFraction = 0.0,
+                          InstrPrefetcher *ipref = nullptr);
+
+} // namespace trb
+
+#endif // TRB_SIM_SIMULATOR_HH

@@ -1,0 +1,440 @@
+#include "synth/generator.hh"
+
+#include "common/logging.hh"
+
+namespace trb
+{
+
+TraceGenerator::TraceGenerator(const WorkloadParams &params)
+    : params_(params), program_(SynthProgram::build(params)),
+      rng_(params.seed ^ 0xd1ceb00cULL)
+{
+    std::uint64_t sm = params.seed + 0x5eedULL;
+    valueSalt_ = splitmix64(sm);
+}
+
+std::uint64_t
+TraceGenerator::loadValue(Addr addr) const
+{
+    std::uint64_t x = addr ^ valueSalt_;
+    return splitmix64(x);
+}
+
+Addr
+TraceGenerator::chaseNext(const Stream &st, Addr addr) const
+{
+    std::uint64_t idx = (addr - st.base) / kLineBytes;
+    std::uint64_t next =
+        (idx * 6364136223846793005ULL + 1442695040888963407ULL) %
+        st.footprintLines;
+    return st.base + next * kLineBytes;
+}
+
+Addr
+TraceGenerator::wrap(const Stream &st, Addr addr)
+{
+    std::uint64_t span = st.footprintLines * kLineBytes;
+    return st.base + (addr - st.base) % span;
+}
+
+void
+TraceGenerator::push(const CvpRecord &rec)
+{
+    trace_.push_back(rec);
+    for (unsigned i = 0; i < rec.numDst; ++i)
+        regVal_[rec.dst[i] % aarch64::kNumRegs] = rec.dstValue[i];
+}
+
+void
+TraceGenerator::emitMovImm(Addr pc, RegId dst, std::uint64_t value)
+{
+    CvpRecord rec;
+    rec.pc = pc;
+    rec.cls = InstClass::Alu;
+    rec.addDst(dst, value);
+    push(rec);
+}
+
+CvpTrace
+TraceGenerator::generate(std::uint64_t length)
+{
+    trace_.clear();
+    trace_.reserve(length + 8);
+    target_ = length;
+
+    for (auto &v : regVal_)
+        v = 0;
+    regVal_[aarch64::kSp] = program_.stackBase;
+
+    cursor_.assign(program_.streams.size(), 0);
+    for (std::size_t s = 0; s < program_.streams.size(); ++s)
+        cursor_[s] = program_.streams[s].base;
+    cursor_[0] = program_.stackBase;
+
+    loopCount_.assign(program_.numPatterns, 0);
+    callStack_.clear();
+    shadowX30_.clear();
+    pos_ = Site{0, 0};
+    slot_ = 0;
+
+    while (trace_.size() < target_) {
+        const Function &fn = program_.functions[pos_.fn];
+        const Block &blk = fn.blocks[pos_.block];
+        if (slot_ < blk.insts.size()) {
+            emitSlot(blk.insts[slot_]);
+            ++slot_;
+        } else {
+            emitTerminator(fn, blk);
+        }
+    }
+    trace_.resize(length);
+    return std::move(trace_);
+}
+
+void
+TraceGenerator::emitSlot(const StaticInst &si)
+{
+    switch (si.kind) {
+      case SlotKind::Alu:
+      case SlotKind::SlowAlu:
+      case SlotKind::Cmp: {
+        CvpRecord rec;
+        rec.pc = si.pc;
+        rec.cls =
+            si.kind == SlotKind::SlowAlu ? InstClass::SlowAlu
+                                         : InstClass::Alu;
+        for (unsigned i = 0; i < si.numSrc; ++i)
+            rec.addSrc(si.src[i]);
+        if (si.spAdjust != 0) {
+            // SUB/ADD SP, SP, #imm: the stack-frame adjust idiom.
+            rec.addDst(aarch64::kSp,
+                       regVal_[aarch64::kSp] +
+                           static_cast<std::int64_t>(si.spAdjust));
+        } else {
+            for (unsigned i = 0; i < si.numDst; ++i)
+                rec.addDst(si.dst[i], rng_.next());
+        }
+        push(rec);
+        break;
+      }
+      case SlotKind::Fp:
+      case SlotKind::FpCmp: {
+        CvpRecord rec;
+        rec.pc = si.pc;
+        rec.cls = InstClass::Fp;
+        for (unsigned i = 0; i < si.numSrc; ++i)
+            rec.addSrc(si.src[i]);
+        for (unsigned i = 0; i < si.numDst; ++i)
+            rec.addDst(si.dst[i], rng_.next());
+        push(rec);
+        break;
+      }
+      case SlotKind::Load:
+      case SlotKind::Store:
+        if (si.streamId == 0)
+            emitStackMem(si);
+        else
+            emitMem(si);
+        break;
+    }
+}
+
+void
+TraceGenerator::emitStackMem(const StaticInst &si)
+{
+    // X30 save/restore: either writeback form (STR X30,[SP,#-16]! /
+    // LDR X30,[SP],#16) or plain form against a pre-adjusted SP.
+    bool writeback = si.mode != AddrMode::Offset;
+    CvpRecord rec;
+    rec.cls = si.kind == SlotKind::Load ? InstClass::Load : InstClass::Store;
+    rec.pc = si.pc + 4;   // slot 0 is the (unused) sync position
+    rec.accessSize = 8;
+    if (si.kind == SlotKind::Store) {
+        Addr ea = writeback ? regVal_[aarch64::kSp] - 16
+                            : regVal_[aarch64::kSp];
+        rec.ea = ea;
+        rec.addSrc(aarch64::kLinkReg);
+        rec.addSrc(aarch64::kSp);
+        if (writeback)
+            rec.addDst(aarch64::kSp, ea);   // pre-index: new base == EA
+        shadowX30_.push_back(regVal_[aarch64::kLinkReg]);
+        push(rec);
+    } else {
+        trb_assert(!shadowX30_.empty(), "epilogue without prologue");
+        Addr ea = regVal_[aarch64::kSp];
+        rec.ea = ea;
+        rec.addSrc(aarch64::kSp);
+        if (writeback)
+            rec.addDst(aarch64::kSp, ea + 16);  // post-index base first
+        rec.addDst(aarch64::kLinkReg, shadowX30_.back());
+        shadowX30_.pop_back();
+        push(rec);
+    }
+}
+
+void
+TraceGenerator::emitMem(const StaticInst &si)
+{
+    const Stream &st = program_.streams[si.streamId];
+    Addr &cur = cursor_[si.streamId];
+    const bool is_load = si.kind == SlotKind::Load;
+    const unsigned total =
+        si.mode == AddrMode::Zva
+            ? kLineBytes
+            : static_cast<unsigned>(si.accessSize) * si.memRegs;
+
+    // The chase idiom: LDR Xb, [Xb].
+    if (st.pattern == StreamPattern::PointerChase && is_load &&
+        si.numDst == 1 && si.dst[0] == st.baseReg) {
+        if (regVal_[st.baseReg] != cur)
+            emitMovImm(si.pc, st.baseReg, cur);
+        CvpRecord rec;
+        rec.pc = si.pc + 4;
+        rec.cls = InstClass::Load;
+        rec.ea = cur;
+        rec.accessSize = 8;
+        rec.addSrc(st.baseReg);
+        Addr next = chaseNext(st, cur);
+        rec.addDst(st.baseReg, next);
+        cur = next;
+        push(rec);
+        return;
+    }
+
+    Addr ea = 0;
+    Addr new_base = 0;
+    bool writes_base = false;
+
+    if (st.pattern == StreamPattern::RandomInRange) {
+        ea = st.base + rng_.below(st.footprintLines) * kLineBytes;
+        if (si.crossesLine && si.accessSize >= 2)
+            ea += kLineBytes - si.accessSize / 2;
+        else if (si.mode != AddrMode::Zva)
+            ea += rng_.below(kLineBytes - std::min(total, 63u));
+        if (si.mode == AddrMode::Zva)
+            ea = lineAddr(ea);
+        // Computed addressing: materialise the address first.
+        emitMovImm(si.pc, st.baseReg, ea);
+    } else {
+        if (regVal_[st.baseReg] != cur)
+            emitMovImm(si.pc, st.baseReg, cur);
+        switch (si.mode) {
+          case AddrMode::Offset:
+          case AddrMode::Pair:
+          case AddrMode::Vector:
+            ea = cur + si.immOffset;
+            break;
+          case AddrMode::Prefetch:
+            ea = wrap(st, cur + 8 * st.strideBytes);
+            break;
+          case AddrMode::Zva:
+            ea = lineAddr(cur);
+            break;
+          case AddrMode::PreIndex:
+            ea = wrap(st, cur + st.strideBytes);
+            new_base = ea;          // written before the access: == EA
+            writes_base = true;
+            cur = ea;
+            break;
+          case AddrMode::PostIndex:
+          case AddrMode::PairWb:
+            ea = cur;
+            new_base = wrap(st, cur + st.strideBytes);
+            writes_base = true;
+            cur = new_base;
+            break;
+        }
+        if (si.crossesLine && si.accessSize >= 2)
+            ea = lineAddr(ea) + kLineBytes - si.accessSize / 2;
+    }
+
+    // Natural alignment: compiled code keeps scalar and pair accesses
+    // inside one line unless the slot is an engineered line-crosser.
+    // Writeback modes are exempt: their address is tied to the base
+    // register value chain (EA == new base for pre-indexing).
+    if (!si.crossesLine && !writes_base && si.mode != AddrMode::Zva &&
+        total > 0 && total < kLineBytes) {
+        ea &= ~static_cast<Addr>(si.accessSize - 1);
+        Addr off = ea % kLineBytes;
+        if (off + total > kLineBytes)
+            ea = lineAddr(ea) + (kLineBytes - total);
+    }
+
+    CvpRecord rec;
+    rec.pc = si.pc + 4;
+    rec.cls = is_load ? InstClass::Load : InstClass::Store;
+    rec.ea = ea;
+    rec.accessSize = si.accessSize;
+    rec.addSrc(st.baseReg);
+    if (is_load) {
+        // Writeback loads list the base register first, the way the
+        // CVP-1 tracer orders outputs (DESIGN.md discusses why this
+        // ordering is load-bearing for the original converter's
+        // behaviour).
+        if (writes_base)
+            rec.addDst(st.baseReg, new_base);
+        for (unsigned i = 0; i < si.numDst; ++i)
+            rec.addDst(si.dst[i],
+                       loadValue(ea + i * si.accessSize));
+    } else {
+        for (unsigned i = 0; i < si.numSrc; ++i)
+            rec.addSrc(si.src[i]);
+        if (writes_base)
+            rec.addDst(st.baseReg, new_base);
+    }
+    push(rec);
+
+    if (si.advance && st.pattern == StreamPattern::Sequential) {
+        Addr advanced = wrap(st, cur + st.strideBytes);
+        CvpRecord add;
+        add.pc = si.pc + 8;
+        add.cls = InstClass::Alu;
+        add.addSrc(st.baseReg);
+        add.addDst(st.baseReg, advanced);
+        cur = advanced;
+        push(add);
+    }
+}
+
+std::uint32_t
+TraceGenerator::pickCandidate(const Terminator &t)
+{
+    // Most indirect branches rotate through their target table (a
+    // history-predictable pattern, like real dispatch loops); a fraction
+    // is data-dependent and effectively random.
+    if (rng_.chance(params_.indirectRandomFrac))
+        return t.candidates[rng_.below(t.candidates.size())];
+    return t.candidates[loopCount_[t.patternId]++ % t.candidates.size()];
+}
+
+void
+TraceGenerator::emitTerminator(const Function &fn, const Block &blk)
+{
+    const Terminator &t = blk.term;
+    const Function *cur_fn = &fn;
+
+    auto goTo = [&](std::uint32_t fn_idx, std::uint32_t block_idx) {
+        pos_ = Site{fn_idx, block_idx};
+        slot_ = 0;
+    };
+    auto nextBlock = [&] { goTo(pos_.fn, pos_.block + 1); };
+
+    switch (t.kind) {
+      case TermKind::FallThrough:
+        nextBlock();
+        return;
+
+      case TermKind::CondBranch: {
+        bool taken = false;
+        switch (t.behavior) {
+          case BranchBehavior::Biased:
+            taken = rng_.chance(t.takenProb);
+            break;
+          case BranchBehavior::Loop: {
+            std::uint32_t cnt = ++loopCount_[t.patternId];
+            taken = (cnt % t.loopPeriod) != 0;
+            break;
+          }
+          case BranchBehavior::Random:
+            taken = rng_.chance(0.5);
+            break;
+          case BranchBehavior::LoadDep:
+            taken = (regVal_[t.condSrcReg] & 1) != 0;
+            break;
+        }
+        CvpRecord rec;
+        rec.pc = t.pc;
+        rec.cls = InstClass::CondBranch;
+        rec.taken = taken;
+        rec.target = cur_fn->blocks[t.targetBlock].firstPc;
+        if (t.viaReg)
+            rec.addSrc(t.condSrcReg);
+        push(rec);
+        if (taken)
+            goTo(pos_.fn, t.targetBlock);
+        else
+            nextBlock();
+        return;
+      }
+
+      case TermKind::Jump: {
+        CvpRecord rec;
+        rec.pc = t.pc;
+        rec.cls = InstClass::UncondDirectBranch;
+        rec.taken = true;
+        rec.target = cur_fn->blocks[t.targetBlock].firstPc;
+        push(rec);
+        goTo(pos_.fn, t.targetBlock);
+        return;
+      }
+
+      case TermKind::IndirectJump: {
+        std::uint32_t choice = pickCandidate(t);
+        Addr target = cur_fn->blocks[choice].firstPc;
+        emitMovImm(t.matPc, t.ptrReg, target);
+        CvpRecord rec;
+        rec.pc = t.pc;
+        rec.cls = InstClass::UncondIndirectBranch;
+        rec.taken = true;
+        rec.target = target;
+        rec.addSrc(t.ptrReg);
+        push(rec);
+        goTo(pos_.fn, choice);
+        return;
+      }
+
+      case TermKind::CallDirect:
+      case TermKind::CallIndirect:
+      case TermKind::CallIndirectX30: {
+        if (callStack_.size() >= params_.maxCallDepth) {
+            nextBlock();   // depth cap: skip the call entirely
+            return;
+        }
+        std::uint32_t callee = t.kind == TermKind::CallDirect
+                                   ? t.calleeFn
+                                   : pickCandidate(t);
+        Addr entry = program_.functions[callee].entry;
+        Addr ret = t.pc + 4;
+
+        CvpRecord rec;
+        rec.pc = t.pc;
+        rec.taken = true;
+        rec.target = entry;
+        if (t.kind == TermKind::CallDirect) {
+            rec.cls = InstClass::UncondDirectBranch;
+        } else {
+            emitMovImm(t.matPc, t.ptrReg, entry);
+            rec.cls = InstClass::UncondIndirectBranch;
+            rec.addSrc(t.ptrReg);
+        }
+        rec.addDst(aarch64::kLinkReg, ret);
+        callStack_.push_back(Site{pos_.fn, pos_.block + 1});
+        push(rec);
+        goTo(callee, 0);
+        return;
+      }
+
+      case TermKind::Return: {
+        trb_assert(!callStack_.empty(), "return with empty call stack");
+        Site site = callStack_.back();
+        callStack_.pop_back();
+        Addr expected =
+            program_.functions[site.fn].blocks[site.block].firstPc;
+        Addr target = regVal_[aarch64::kLinkReg];
+        trb_assert(target == expected,
+                   "link register desync: ret target ", target,
+                   " expected ", expected);
+        CvpRecord rec;
+        rec.pc = t.pc;
+        rec.cls = InstClass::UncondIndirectBranch;
+        rec.taken = true;
+        rec.target = target;
+        rec.addSrc(aarch64::kLinkReg);
+        push(rec);
+        goTo(site.fn, site.block);
+        return;
+      }
+    }
+}
+
+} // namespace trb

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Dynamic side of the synthetic workload generator: walks a SynthProgram
+ * with architectural register values, a call stack, per-stream memory
+ * cursors and per-branch pattern counters, and emits a value-consistent
+ * CVP-1 trace.
+ *
+ * Value consistency is the load-bearing property: the improved converter
+ * infers addressing modes by comparing effective addresses against the
+ * values written to candidate base registers, so the generator maintains
+ * real register values exactly where that inference looks (base registers,
+ * function pointers, the link register) and fills everything else with
+ * deterministic pseudo-random data.
+ */
+
+#ifndef TRB_SYNTH_GENERATOR_HH
+#define TRB_SYNTH_GENERATOR_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/types.hh"
+#include "synth/program.hh"
+#include "trace/cvp_trace.hh"
+
+namespace trb
+{
+
+/** Generates CVP-1 traces from workload parameters. */
+class TraceGenerator
+{
+  public:
+    explicit TraceGenerator(const WorkloadParams &params);
+
+    /** Emit @p length dynamic instructions (fresh walk each call). */
+    CvpTrace generate(std::uint64_t length);
+
+    /** The static program backing this generator. */
+    const SynthProgram &program() const { return program_; }
+
+  private:
+    struct Site
+    {
+        std::uint32_t fn = 0;
+        std::uint32_t block = 0;
+    };
+
+    void emitSlot(const StaticInst &si);
+    std::uint32_t pickCandidate(const Terminator &t);
+    void emitTerminator(const Function &fn, const Block &blk);
+    void emitMem(const StaticInst &si);
+    void emitStackMem(const StaticInst &si);
+
+    /** Append a record and apply its destination values to regVal_. */
+    void push(const CvpRecord &rec);
+
+    /** Emit a one-destination materialisation/sync ALU at @p pc. */
+    void emitMovImm(Addr pc, RegId dst, std::uint64_t value);
+
+    /** Deterministic data value stored at @p addr. */
+    std::uint64_t loadValue(Addr addr) const;
+
+    /** Next pointer in a chase stream containing @p addr. */
+    Addr chaseNext(const Stream &st, Addr addr) const;
+
+    /** Wrap @p addr into the stream's footprint. */
+    static Addr wrap(const Stream &st, Addr addr);
+
+    WorkloadParams params_;
+    SynthProgram program_;
+    Rng rng_;
+    std::uint64_t valueSalt_;
+
+    CvpTrace trace_;
+    std::uint64_t target_ = 0;
+
+    std::uint64_t regVal_[aarch64::kNumRegs] = {};
+    std::vector<Addr> cursor_;              //!< per-stream position
+    std::vector<std::uint32_t> loopCount_;  //!< per-pattern counters
+    std::vector<Site> callStack_;           //!< walker return sites
+    std::vector<std::uint64_t> shadowX30_;  //!< stacked link registers
+
+    Site pos_;
+    std::uint32_t slot_ = 0;
+};
+
+} // namespace trb
+
+#endif // TRB_SYNTH_GENERATOR_HH

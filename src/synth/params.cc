@@ -1,0 +1,137 @@
+#include "synth/params.hh"
+
+namespace trb
+{
+
+WorkloadParams
+computeIntParams(std::uint64_t seed)
+{
+    WorkloadParams p;
+    p.seed = seed;
+    p.numFunctions = 20;
+    p.blocksPerFunction = 7;
+    p.instsPerBlock = 8;
+    p.callDensity = 0.10;
+    p.indirectCallFrac = 0.10;
+    p.condRandomFrac = 0.15;
+    p.condLoopFrac = 0.35;
+    p.condTakenBias = 0.94;
+    p.fracLoad = 0.26;
+    p.fracStore = 0.11;
+    p.fracFp = 0.02;
+    p.fracCmp = 0.12;
+    p.baseUpdateFrac = 0.05;
+    p.numStreams = 6;
+    p.dataFootprintLines = 250;
+    p.streamRandomFrac = 0.3;
+    return p;
+}
+
+WorkloadParams
+computeFpParams(std::uint64_t seed)
+{
+    WorkloadParams p;
+    p.seed = seed;
+    p.numFunctions = 12;
+    p.blocksPerFunction = 6;
+    p.instsPerBlock = 12;
+    p.callDensity = 0.06;
+    p.indirectCallFrac = 0.05;
+    p.condRandomFrac = 0.03;
+    p.condLoopFrac = 0.6;
+    p.condTakenBias = 0.96;
+    p.loopPeriodMin = 16;
+    p.loopPeriodMax = 64;
+    p.fracLoad = 0.28;
+    p.fracStore = 0.12;
+    p.fracFp = 0.30;
+    p.fracCmp = 0.05;
+    p.vecLoadFrac = 0.10;
+    p.baseUpdateFrac = 0.06;
+    p.numStreams = 8;
+    p.dataFootprintLines = 1200;
+    p.streamRandomFrac = 0.05;
+    return p;
+}
+
+WorkloadParams
+cryptoParams(std::uint64_t seed)
+{
+    WorkloadParams p;
+    p.seed = seed;
+    p.numFunctions = 6;
+    p.blocksPerFunction = 5;
+    p.instsPerBlock = 14;
+    p.callDensity = 0.08;
+    p.indirectCallFrac = 0.0;
+    p.condRandomFrac = 0.01;
+    p.condLoopFrac = 0.7;
+    p.condTakenBias = 0.98;
+    p.loopPeriodMin = 8;
+    p.loopPeriodMax = 32;
+    p.fracLoad = 0.18;
+    p.fracStore = 0.08;
+    p.fracFp = 0.04;
+    p.fracSlowAlu = 0.10;
+    p.fracCmp = 0.06;
+    p.baseUpdateFrac = 0.04;
+    p.numStreams = 3;
+    p.dataFootprintLines = 64;
+    p.streamRandomFrac = 0.0;
+    p.depDensity = 0.8;
+    return p;
+}
+
+WorkloadParams
+serverParams(std::uint64_t seed)
+{
+    WorkloadParams p;
+    p.seed = seed;
+    p.numFunctions = 300;
+    p.blocksPerFunction = 5;
+    p.instsPerBlock = 5;
+    p.callDensity = 0.28;
+    p.indirectCallFrac = 0.22;
+    p.indirectJumpFrac = 0.04;
+    p.condRandomFrac = 0.02;
+    p.condLoopFrac = 0.15;
+    p.condTakenBias = 0.97;
+    p.loopPeriodMin = 3;
+    p.loopPeriodMax = 10;
+    p.fracLoad = 0.25;
+    p.fracStore = 0.12;
+    p.fracFp = 0.01;
+    p.fracCmp = 0.12;
+    p.baseUpdateFrac = 0.08;
+    p.numStreams = 10;
+    p.dataFootprintLines = 500;
+    p.streamRandomFrac = 0.3;
+    p.maxCallDepth = 12;
+    return p;
+}
+
+WorkloadParams
+memoryBoundParams(std::uint64_t seed)
+{
+    WorkloadParams p;
+    p.seed = seed;
+    p.numFunctions = 15;
+    p.blocksPerFunction = 5;
+    p.instsPerBlock = 7;
+    p.callDensity = 0.08;
+    p.condRandomFrac = 0.05;
+    p.condLoopFrac = 0.4;
+    p.fracLoad = 0.34;
+    p.fracStore = 0.10;
+    p.fracCmp = 0.08;
+    p.baseUpdateFrac = 0.05;
+    p.numStreams = 4;
+    p.dataFootprintLines = 120000;   // ~7.3 MiB per stream: beyond the LLC
+    p.pointerChaseFrac = 0.6;
+    p.streamRandomFrac = 0.3;
+    p.loadToBranchFrac = 0.3;
+    p.cmpReadsLoadFrac = 0.2;
+    return p;
+}
+
+} // namespace trb

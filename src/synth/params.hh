@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tunable parameters of the synthetic Aarch64-like workload generator.
+ *
+ * Each knob maps to a behaviour the paper's converter study depends on:
+ * instruction footprint drives L1I MPKI, data footprint drives L1D/L2/LLC
+ * MPKI, the base-update fractions drive the base-update improvement, the
+ * BLR-X30 fraction triggers the call-stack misclassification, the
+ * compare/CBZ mixes drive flag-reg and branch-regs, and so on.
+ */
+
+#ifndef TRB_SYNTH_PARAMS_HH
+#define TRB_SYNTH_PARAMS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace trb
+{
+
+/** Full parameter set for one synthetic workload. */
+struct WorkloadParams
+{
+    std::uint64_t seed = 1;
+
+    /// @name Static program shape (instruction-footprint drivers)
+    /// @{
+    unsigned numFunctions = 24;        //!< distinct functions
+    unsigned blocksPerFunction = 6;    //!< basic blocks per function
+    unsigned instsPerBlock = 8;        //!< average non-terminator insts
+    unsigned maxCallDepth = 12;        //!< call-stack depth bound
+    /// @}
+
+    /// @name Control flow
+    /// @{
+    double callDensity = 0.12;         //!< blocks ending in a call
+    double indirectCallFrac = 0.15;    //!< calls that are BLR (indirect)
+    double blrX30Frac = 0.0;           //!< indirect calls that are BLR X30
+    double indirectJumpFrac = 0.03;    //!< non-call blocks ending in BR Xn
+    double indirectRandomFrac = 0.15;  //!< indirect targets chosen randomly
+                                       //!< (rest rotate predictably)
+    double condTakenBias = 0.8;        //!< bias of biased branches
+    double condLoopFrac = 0.4;         //!< conditionals with loop patterns
+    double condRandomFrac = 0.12;      //!< data-dependent (hard) branches
+    double condRegFrac = 0.35;         //!< CBZ/TBZ-style (GPR source)
+    double loadToBranchFrac = 0.35;    //!< CBZ sources fed by a fresh load
+    double cmpReadsLoadFrac = 0.35;    //!< compares fed by a fresh load
+    unsigned loopPeriodMin = 4;        //!< shortest loop trip count
+    unsigned loopPeriodMax = 24;       //!< longest loop trip count
+    /// @}
+
+    /// @name Instruction mix (fractions of block body instructions)
+    /// @{
+    double fracLoad = 0.26;
+    double fracStore = 0.11;
+    double fracFp = 0.08;
+    double fracSlowAlu = 0.03;
+    double fracCmp = 0.10;             //!< ALU with no destination register
+    /// @}
+
+    /// @name Memory behaviour
+    /// @{
+    double baseUpdateFrac = 0.06;      //!< loads/stores with pre/post index
+    double preIndexFrac = 0.5;         //!< of base-update ops, pre (vs post)
+    double loadPairFrac = 0.10;        //!< LDP/STP
+    double vecLoadFrac = 0.03;         //!< LD2/LD3/LD4
+    double prefetchFrac = 0.03;        //!< PRFM: load with no destination
+    double dczvaFrac = 0.005;          //!< DC ZVA: 64-byte zeroing store
+    double unalignedFrac = 0.005;       //!< accesses that cross a cacheline
+    unsigned numStreams = 6;           //!< concurrent access streams
+    std::uint64_t dataFootprintLines = 512;  //!< lines touched per stream
+    double pointerChaseFrac = 0.0;     //!< loads feeding the next address
+    double streamRandomFrac = 0.2;     //!< streams with random-in-footprint
+    /// @}
+
+    /// @name Dependency shape
+    /// @{
+    double depDensity = 0.6;           //!< ALU reads recently-written regs
+    /// @}
+};
+
+/** A named workload: the unit the experiment suites are built from. */
+struct TraceSpec
+{
+    std::string name;
+    WorkloadParams params;
+    std::uint64_t length = 50000;      //!< dynamic instructions to emit
+};
+
+/// @name Base presets the suites derive from.
+/// @{
+
+/** Integer compute: branchy, moderate footprints. */
+WorkloadParams computeIntParams(std::uint64_t seed);
+
+/** Floating point compute: FP-heavy, streaming memory, predictable. */
+WorkloadParams computeFpParams(std::uint64_t seed);
+
+/** Cryptography: small hot loops, long ALU chains, few misses. */
+WorkloadParams cryptoParams(std::uint64_t seed);
+
+/** Datacenter/server: huge instruction footprint, call-heavy. */
+WorkloadParams serverParams(std::uint64_t seed);
+
+/** Memory-bound pointer-chasing (spec_gcc_002/003-like). */
+WorkloadParams memoryBoundParams(std::uint64_t seed);
+
+/// @}
+
+} // namespace trb
+
+#endif // TRB_SYNTH_PARAMS_HH

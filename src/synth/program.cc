@@ -1,0 +1,696 @@
+#include "synth/program.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace trb
+{
+
+namespace
+{
+
+/// Register conventions of the synthetic ISA (Aarch64-flavoured).
+constexpr RegId kDataRegs[] = {0, 1, 2, 3, 4, 5, 16, 17, 18, 19, 20,
+                               21, 22, 23};
+// Loads never write the counter registers, so compare chains built on
+// them resolve at ALU speed (loop counters, flags tests).
+constexpr RegId kLoadDstRegs[] = {0, 1, 2, 3, 16, 17, 18, 19, 20, 21,
+                                  22, 23};
+constexpr RegId kCounterRegs[] = {4, 5};
+constexpr RegId kVecRegs[] = {32, 33, 34, 35, 36, 37, 38, 39, 40, 41, 42,
+                              43, 44, 45, 46, 47};
+constexpr RegId kFirstBaseReg = 8;
+constexpr unsigned kNumBaseRegs = 8;
+constexpr RegId kPtrRegs[] = {24, 25, 26, 27};
+constexpr RegId kJumpReg = 28;
+
+RegId
+dataReg(Rng &rng)
+{
+    return kDataRegs[rng.below(std::size(kDataRegs))];
+}
+
+RegId
+loadDstReg(Rng &rng)
+{
+    return kLoadDstRegs[rng.below(std::size(kLoadDstRegs))];
+}
+
+RegId
+counterReg(Rng &rng)
+{
+    return kCounterRegs[rng.below(std::size(kCounterRegs))];
+}
+
+RegId
+vecReg(Rng &rng)
+{
+    return kVecRegs[rng.below(std::size(kVecRegs))];
+}
+
+std::uint8_t
+rollAccessSize(Rng &rng)
+{
+    double p = rng.uniform();
+    if (p < 0.55)
+        return 8;
+    if (p < 0.85)
+        return 4;
+    if (p < 0.95)
+        return 2;
+    return 1;
+}
+
+/** Pick a source biased towards registers written earlier in the block. */
+RegId
+pickDepSource(Rng &rng, const std::vector<StaticInst> &insts, double density)
+{
+    if (!insts.empty() && rng.chance(density)) {
+        // Walk back a few slots looking for a GPR-writing instruction.
+        for (unsigned tries = 0; tries < 4; ++tries) {
+            const StaticInst &cand = insts[rng.below(insts.size())];
+            if (cand.numDst > 0 && cand.dst[0] < aarch64::kVecBase)
+                return cand.dst[0];
+        }
+    }
+    return dataReg(rng);
+}
+
+/** Index of the last load slot in the block, or -1. */
+int
+lastLoadSlot(const std::vector<StaticInst> &insts)
+{
+    for (int i = static_cast<int>(insts.size()) - 1; i >= 0; --i)
+        if (insts[static_cast<std::size_t>(i)].kind == SlotKind::Load &&
+            insts[static_cast<std::size_t>(i)].numDst > 0)
+            return i;
+    return -1;
+}
+
+} // namespace
+
+SynthProgram
+SynthProgram::build(const WorkloadParams &params)
+{
+    Rng rng(params.seed);
+    SynthProgram prog;
+
+    // --- Streams.  Stream 0 is the call stack (SP-based, special). ---
+    Stream stack;
+    stack.pattern = StreamPattern::Sequential;
+    stack.baseReg = aarch64::kSp;
+    stack.base = prog.stackBase;
+    stack.strideBytes = 16;
+    stack.footprintLines = 64;
+    prog.streams.push_back(stack);
+
+    unsigned num_streams = std::max(1u, params.numStreams);
+    // Deterministic pattern quotas (a per-stream roll would let unlucky
+    // seeds drop a pattern class the preset depends on entirely).
+    std::vector<StreamPattern> patterns;
+    unsigned n_chase = static_cast<unsigned>(
+        params.pointerChaseFrac * num_streams + 0.5);
+    unsigned n_random = static_cast<unsigned>(
+        params.streamRandomFrac * num_streams + 0.5);
+    if (params.pointerChaseFrac > 0.0 && n_chase == 0)
+        n_chase = 1;
+    if (params.streamRandomFrac > 0.0 && n_random == 0)
+        n_random = 1;
+    for (unsigned i = 0; i < num_streams; ++i) {
+        if (i < n_chase)
+            patterns.push_back(StreamPattern::PointerChase);
+        else if (i < n_chase + n_random)
+            patterns.push_back(StreamPattern::RandomInRange);
+        else
+            patterns.push_back(StreamPattern::Sequential);
+    }
+    for (unsigned i = num_streams; i > 1; --i)
+        std::swap(patterns[i - 1], patterns[rng.below(i)]);
+
+    for (unsigned i = 0; i < num_streams; ++i) {
+        Stream st;
+        st.pattern = patterns[i];
+        st.baseReg = kFirstBaseReg + (i % kNumBaseRegs);
+        std::uint64_t jitter = rng.range(50, 200);
+        st.footprintLines =
+            std::max<std::uint64_t>(4, params.dataFootprintLines * jitter /
+                                           100);
+        // Element-sized strides dominate (array walks); line-sized
+        // strides are the rarer record-at-a-time pattern.
+        double stride_roll = rng.uniform();
+        st.strideBytes = stride_roll < 0.5 ? 8 : stride_roll < 0.8 ? 16
+                                                                   : 64;
+        st.base = 0x10000000ULL +
+                  static_cast<Addr>(i) * (st.footprintLines + 4096) * 64 * 4;
+        prog.streams.push_back(st);
+    }
+
+    // --- Functions: terminators first, then bodies. ---
+    unsigned num_fns = std::max(1u, params.numFunctions);
+    prog.functions.resize(num_fns);
+
+    for (unsigned f = 0; f < num_fns; ++f) {
+        Function &fn = prog.functions[f];
+        unsigned nblocks = std::max<std::uint64_t>(
+            1, rng.range(std::max(1u, params.blocksPerFunction / 2),
+                         params.blocksPerFunction * 3 / 2));
+        fn.blocks.resize(nblocks);
+
+        if (f == 0 && num_fns >= 2) {
+            // Function 0 is the dispatcher: every block calls out through
+            // a wide function-pointer table, and the terminal block loops
+            // back to the entry.  This guarantees the walk keeps
+            // traversing the whole program (and exercising its
+            // instruction footprint) instead of getting trapped in a
+            // local cycle.
+            nblocks = std::clamp(num_fns / 2u, 2u, 16u);
+            fn.blocks.assign(nblocks, Block{});
+            for (unsigned b = 0; b + 1 < nblocks; ++b) {
+                Terminator &t = fn.blocks[b].term;
+                if (b % 3 == 0) {
+                    t.kind = TermKind::CallDirect;
+                    t.calleeFn = static_cast<std::uint32_t>(
+                        rng.range(1, num_fns - 1));
+                } else {
+                    t.kind = TermKind::CallIndirect;
+                    t.ptrReg = kPtrRegs[rng.below(std::size(kPtrRegs))];
+                    t.needsMat = true;
+                    t.patternId = prog.numPatterns++;
+                    unsigned ncand = static_cast<unsigned>(rng.range(
+                        4, std::min<std::uint64_t>(12, num_fns - 1)));
+                    for (unsigned c = 0; c < ncand; ++c)
+                        t.candidates.push_back(static_cast<std::uint32_t>(
+                            rng.range(1, num_fns - 1)));
+                }
+            }
+            fn.blocks.back().term.kind = TermKind::Jump;
+            fn.blocks.back().term.targetBlock = 0;
+            fn.hasCalls = true;
+            continue;
+        }
+
+        // Bound the product of nested loop trip counts so one function
+        // activation cannot monopolise the trace.
+        unsigned loop_budget = 96;
+        for (unsigned b = 0; b < nblocks; ++b) {
+            Terminator &t = fn.blocks[b].term;
+            bool last = (b == nblocks - 1);
+            if (last) {
+                if (f == 0) {
+                    // Single-function program: loop forever; the trace
+                    // length bounds it.
+                    t.kind = TermKind::Jump;
+                    t.targetBlock = 0;
+                } else {
+                    t.kind = TermKind::Return;
+                }
+                continue;
+            }
+
+            double roll = rng.uniform();
+            // Functions never call themselves: self recursion under a
+            // loop explodes exponentially below the depth cap and lets
+            // one 40-PC subtree monopolise the whole trace.  (Mutual
+            // recursion across distinct functions stays allowed -- its
+            // subtrees at least span diverse code.)
+            bool can_call = num_fns >= 3;
+            if (roll < params.callDensity && can_call) {
+                double ind = rng.uniform();
+                if (ind < params.indirectCallFrac * params.blrX30Frac) {
+                    t.kind = TermKind::CallIndirectX30;
+                    t.ptrReg = aarch64::kLinkReg;
+                } else if (ind < params.indirectCallFrac) {
+                    t.kind = TermKind::CallIndirect;
+                    t.ptrReg = kPtrRegs[rng.below(std::size(kPtrRegs))];
+                } else {
+                    t.kind = TermKind::CallDirect;
+                }
+                auto pick_callee = [&]() {
+                    for (;;) {
+                        auto c = static_cast<std::uint32_t>(
+                            rng.range(1, num_fns - 1));
+                        if (c != f)
+                            return c;
+                    }
+                };
+                if (t.kind == TermKind::CallDirect) {
+                    t.calleeFn = pick_callee();
+                } else {
+                    unsigned ncand = static_cast<unsigned>(rng.range(2, 4));
+                    for (unsigned c = 0; c < ncand; ++c)
+                        t.candidates.push_back(pick_callee());
+                    t.needsMat = true;
+                    t.patternId = prog.numPatterns++;
+                }
+            } else if (roll < params.callDensity + params.indirectJumpFrac) {
+                t.kind = TermKind::IndirectJump;
+                t.ptrReg = kJumpReg;
+                t.needsMat = true;
+                t.patternId = prog.numPatterns++;
+                unsigned ncand = static_cast<unsigned>(rng.range(2, 4));
+                for (unsigned c = 0; c < ncand; ++c)
+                    t.candidates.push_back(static_cast<std::uint32_t>(
+                        rng.range(b + 1, nblocks - 1)));
+            } else if (roll < params.callDensity + params.indirectJumpFrac +
+                                  0.08) {
+                t.kind = TermKind::Jump;
+                t.targetBlock = static_cast<std::uint32_t>(
+                    rng.range(b + 1, nblocks - 1));
+            } else if (roll < params.callDensity + params.indirectJumpFrac +
+                                  0.08 + 0.55) {
+                t.kind = TermKind::CondBranch;
+                t.patternId = prog.numPatterns++;
+                bool backward = b >= 1 && loop_budget >= 4 &&
+                                rng.chance(params.condLoopFrac);
+                if (backward) {
+                    t.behavior = BranchBehavior::Loop;
+                    unsigned period = static_cast<unsigned>(rng.range(
+                        params.loopPeriodMin,
+                        std::max(params.loopPeriodMin,
+                                 params.loopPeriodMax)));
+                    period = std::clamp(period, 2u, loop_budget);
+                    t.targetBlock =
+                        static_cast<std::uint32_t>(rng.range(1, b));
+                    // Loops around call sites multiply down the call
+                    // chain; keep them short so no nest monopolises the
+                    // trace.
+                    for (std::uint32_t lb = t.targetBlock; lb < b; ++lb) {
+                        TermKind k = fn.blocks[lb].term.kind;
+                        if (k == TermKind::CallDirect ||
+                            k == TermKind::CallIndirect ||
+                            k == TermKind::CallIndirectX30) {
+                            period = std::min(period, 2u);
+                            break;
+                        }
+                    }
+                    loop_budget = std::max(1u, loop_budget / period);
+                    t.loopPeriod = static_cast<std::uint16_t>(period);
+                    t.viaReg = rng.chance(params.condRegFrac);
+                } else {
+                    t.targetBlock = static_cast<std::uint32_t>(
+                        rng.range(b + 1, nblocks - 1));
+                    t.viaReg = rng.chance(params.condRegFrac);
+                    bool load_dep =
+                        t.viaReg && rng.chance(params.loadToBranchFrac);
+                    if (load_dep)
+                        t.behavior = BranchBehavior::LoadDep;
+                    else if (rng.chance(params.condRandomFrac))
+                        t.behavior = BranchBehavior::Random;
+                    else {
+                        t.behavior = BranchBehavior::Biased;
+                        t.takenProb = rng.chance(0.5)
+                                          ? params.condTakenBias
+                                          : 1.0 - params.condTakenBias;
+                    }
+                }
+            } else {
+                t.kind = TermKind::FallThrough;
+            }
+
+            if (t.kind == TermKind::CallDirect ||
+                t.kind == TermKind::CallIndirect ||
+                t.kind == TermKind::CallIndirectX30)
+                fn.hasCalls = true;
+        }
+    }
+
+    // --- Bodies. ---
+    for (unsigned f = 0; f < num_fns; ++f) {
+        Function &fn = prog.functions[f];
+
+        // Each function touches a small subset of the data streams.
+        std::vector<std::uint16_t> fn_streams;
+        unsigned nstreams = static_cast<unsigned>(
+            rng.range(1, std::min<std::uint64_t>(3, num_streams)));
+        for (unsigned s = 0; s < nstreams; ++s)
+            fn_streams.push_back(
+                static_cast<std::uint16_t>(1 + rng.below(num_streams)));
+
+        for (Block &blk : fn.blocks) {
+            unsigned n = std::max<std::uint64_t>(
+                1, rng.range(std::max(1u, params.instsPerBlock / 2),
+                             params.instsPerBlock * 3 / 2));
+            for (unsigned i = 0; i < n; ++i) {
+                StaticInst si;
+                double roll = rng.uniform();
+                double acc = params.fracLoad;
+                if (roll < acc) {
+                    si.kind = SlotKind::Load;
+                } else if (roll < (acc += params.fracStore)) {
+                    si.kind = SlotKind::Store;
+                } else if (roll < (acc += params.fracFp)) {
+                    si.kind = rng.chance(0.2) ? SlotKind::FpCmp
+                                              : SlotKind::Fp;
+                } else if (roll < (acc += params.fracSlowAlu)) {
+                    si.kind = SlotKind::SlowAlu;
+                } else if (roll < (acc += params.fracCmp)) {
+                    si.kind = SlotKind::Cmp;
+                } else {
+                    si.kind = SlotKind::Alu;
+                }
+
+                switch (si.kind) {
+                  case SlotKind::Alu:
+                  case SlotKind::SlowAlu:
+                    si.numDst = 1;
+                    si.dst[0] = dataReg(rng);
+                    if (si.dst[0] == kCounterRegs[0] ||
+                        si.dst[0] == kCounterRegs[1]) {
+                        // Counter registers evolve as increments
+                        // (i = i + 1): single-cycle loop-carried chains.
+                        si.numSrc = 1;
+                        si.src[0] = si.dst[0];
+                    } else {
+                        si.numSrc =
+                            static_cast<std::uint8_t>(rng.range(1, 2));
+                        for (unsigned s = 0; s < si.numSrc; ++s)
+                            si.src[s] = pickDepSource(rng, blk.insts,
+                                                      params.depDensity);
+                    }
+                    break;
+                  case SlotKind::Cmp:
+                    si.numSrc = 2;
+                    // Compares split between cheap counter tests and
+                    // tests of computed values (dependency chains).
+                    si.src[0] = rng.chance(0.65)
+                                    ? pickDepSource(rng, blk.insts,
+                                                    params.depDensity)
+                                    : counterReg(rng);
+                    si.src[1] = counterReg(rng);
+                    if (rng.chance(params.cmpReadsLoadFrac)) {
+                        int l = lastLoadSlot(blk.insts);
+                        if (l >= 0)
+                            si.src[0] =
+                                blk.insts[static_cast<std::size_t>(l)]
+                                    .dst[0];
+                    }
+                    break;
+                  case SlotKind::Fp:
+                    si.numDst = 1;
+                    si.dst[0] = vecReg(rng);
+                    si.numSrc = 2;
+                    si.src[0] = vecReg(rng);
+                    si.src[1] = vecReg(rng);
+                    break;
+                  case SlotKind::FpCmp:
+                    si.numSrc = 2;
+                    si.src[0] = vecReg(rng);
+                    si.src[1] = vecReg(rng);
+                    break;
+                  case SlotKind::Load:
+                  case SlotKind::Store: {
+                    si.streamId = fn_streams[rng.below(fn_streams.size())];
+                    const Stream &st = prog.streams[si.streamId];
+                    si.accessSize = rollAccessSize(rng);
+                    bool is_load = si.kind == SlotKind::Load;
+                    bool seq = st.pattern == StreamPattern::Sequential;
+
+                    if (st.pattern == StreamPattern::PointerChase &&
+                        is_load) {
+                        // LDR Xb, [Xb]: the chase idiom.
+                        si.mode = AddrMode::Offset;
+                        si.accessSize = 8;
+                        si.numSrc = 1;
+                        si.src[0] = st.baseReg;
+                        si.numDst = 1;
+                        si.dst[0] = st.baseReg;
+                        break;
+                    }
+
+                    double m = rng.uniform();
+                    double acc2 = is_load ? params.prefetchFrac
+                                          : params.dczvaFrac;
+                    double vec_end =
+                        acc2 + (is_load ? params.vecLoadFrac : 0.0);
+                    double pair_end = vec_end + params.loadPairFrac;
+                    if (m < acc2) {
+                        si.mode = is_load ? AddrMode::Prefetch
+                                          : AddrMode::Zva;
+                        if (!is_load)
+                            si.accessSize = 64;
+                    } else if (m < vec_end) {
+                        si.mode = AddrMode::Vector;
+                        si.memRegs = static_cast<std::uint8_t>(
+                            rng.range(2, 3));
+                        si.accessSize = 8;
+                    } else if (m < pair_end) {
+                        si.mode = (seq && rng.chance(0.25))
+                                      ? AddrMode::PairWb
+                                      : AddrMode::Pair;
+                        si.memRegs = 2;
+                        si.accessSize = 8;
+                    } else if (seq && rng.chance(params.baseUpdateFrac)) {
+                        si.mode = rng.chance(params.preIndexFrac)
+                                      ? AddrMode::PreIndex
+                                      : AddrMode::PostIndex;
+                    } else {
+                        si.mode = AddrMode::Offset;
+                        si.immOffset = static_cast<std::uint16_t>(
+                            rng.below(64));
+                        si.advance = seq && rng.chance(0.5);
+                    }
+                    // Line crossings happen while streaming through
+                    // buffers (where the neighbouring line is touched
+                    // soon anyway); random accesses stay line-contained.
+                    if (seq &&
+                        (si.mode == AddrMode::Offset ||
+                         si.mode == AddrMode::Pair ||
+                         si.mode == AddrMode::Vector) &&
+                        si.accessSize >= 2 &&
+                        rng.chance(params.unalignedFrac))
+                        si.crossesLine = true;
+
+                    // Register lists (data registers; base added by the
+                    // generator's emission logic from the stream).
+                    unsigned data_regs =
+                        (si.mode == AddrMode::Prefetch ||
+                         si.mode == AddrMode::Zva)
+                            ? 0
+                            : si.memRegs;
+                    if (si.mode == AddrMode::Vector) {
+                        for (unsigned r = 0; r < data_regs && r < 3; ++r)
+                            si.dst[r] = vecReg(rng);
+                        si.numDst = is_load
+                                        ? static_cast<std::uint8_t>(
+                                              std::min(3u, data_regs))
+                                        : 0;
+                        if (!is_load) {
+                            si.numSrc = static_cast<std::uint8_t>(
+                                std::min(3u, data_regs));
+                            for (unsigned r = 0; r < si.numSrc; ++r)
+                                si.src[r] = si.dst[r];
+                            si.numDst = 0;
+                        }
+                    } else if (is_load) {
+                        si.numDst = static_cast<std::uint8_t>(data_regs);
+                        for (unsigned r = 0; r < data_regs && r < 3; ++r)
+                            si.dst[r] = loadDstReg(rng);
+                    } else {
+                        si.numSrc = static_cast<std::uint8_t>(data_regs);
+                        for (unsigned r = 0; r < data_regs && r < 3; ++r)
+                            si.src[r] = dataReg(rng);
+                    }
+                    break;
+                  }
+                }
+                blk.insts.push_back(si);
+            }
+
+            // Writeback loads feed a loop-carried accumulator (X7), the
+            // way real reduction loops consume streamed data.  This keeps
+            // L1-resident loops bound by the load-use chain whether or
+            // not the base-register chain is split by the converter.
+            for (std::size_t w = 0; w < blk.insts.size(); ++w) {
+                const StaticInst &ld = blk.insts[w];
+                bool wb_load =
+                    ld.kind == SlotKind::Load &&
+                    (ld.mode == AddrMode::PreIndex ||
+                     ld.mode == AddrMode::PostIndex ||
+                     ld.mode == AddrMode::PairWb) &&
+                    ld.numDst > 0;
+                if (!wb_load)
+                    continue;
+                StaticInst acc;
+                acc.kind = SlotKind::Alu;
+                acc.numDst = 1;
+                acc.dst[0] = 7;   // the dedicated accumulator register
+                acc.numSrc = 2;
+                acc.src[0] = 7;
+                acc.src[1] = ld.dst[0];
+                blk.insts.insert(
+                    blk.insts.begin() + static_cast<std::ptrdiff_t>(w + 1),
+                    acc);
+                ++w;
+            }
+
+            // Fix-ups the terminator needs from its block body.
+            Terminator &t = blk.term;
+            if (t.kind == TermKind::CondBranch) {
+                if (t.behavior == BranchBehavior::LoadDep) {
+                    int l = lastLoadSlot(blk.insts);
+                    if (l < 0) {
+                        // Guarantee a producing load.
+                        StaticInst ld;
+                        ld.kind = SlotKind::Load;
+                        ld.streamId =
+                            fn_streams[rng.below(fn_streams.size())];
+                        if (prog.streams[ld.streamId].pattern ==
+                            StreamPattern::PointerChase)
+                            ld.streamId = fn_streams[0];
+                        if (prog.streams[ld.streamId].pattern ==
+                            StreamPattern::PointerChase) {
+                            // All candidate streams chase: fall back to a
+                            // plain biased branch instead.
+                            t.behavior = BranchBehavior::Biased;
+                            t.takenProb = params.condTakenBias;
+                        } else {
+                            ld.mode = AddrMode::Offset;
+                            ld.accessSize = 8;
+                            ld.numDst = 1;
+                            ld.dst[0] = loadDstReg(rng);
+                            blk.insts.push_back(ld);
+                            l = static_cast<int>(blk.insts.size()) - 1;
+                        }
+                    }
+                    if (t.behavior == BranchBehavior::LoadDep)
+                        t.condSrcReg =
+                            blk.insts[static_cast<std::size_t>(l)].dst[0];
+                } else if (t.viaReg) {
+                    t.condSrcReg = rng.chance(0.65)
+                                       ? dataReg(rng)
+                                       : counterReg(rng);
+                } else {
+                    // Flags-based conditional: make sure something sets
+                    // the (unrecorded) flags nearby.
+                    bool has_cmp = false;
+                    for (const StaticInst &si : blk.insts)
+                        if (si.kind == SlotKind::Cmp)
+                            has_cmp = true;
+                    if (!has_cmp) {
+                        StaticInst cmp;
+                        cmp.kind = SlotKind::Cmp;
+                        cmp.numSrc = 2;
+                        cmp.src[0] = counterReg(rng);
+                        cmp.src[1] = counterReg(rng);
+                        if (rng.chance(params.cmpReadsLoadFrac)) {
+                            int l = lastLoadSlot(blk.insts);
+                            if (l >= 0)
+                                cmp.src[0] =
+                                    blk.insts[static_cast<std::size_t>(l)]
+                                        .dst[0];
+                        }
+                        blk.insts.push_back(cmp);
+                    }
+                }
+            }
+        }
+
+        // Prologue/epilogue: non-leaf functions save and restore X30 on
+        // the stack.  Half use writeback addressing (STR X30,[SP,#-16]! /
+        // LDR X30,[SP],#16), half the explicit-adjust idiom
+        // (SUB SP,SP,#16; STR X30,[SP] ... LDR X30,[SP]; ADD SP,SP,#16).
+        if (fn.hasCalls) {
+            bool writeback_style = rng.chance(0.25);
+            auto &front = fn.blocks.front().insts;
+            auto &back = fn.blocks.back().insts;
+
+            StaticInst pro;
+            pro.kind = SlotKind::Store;
+            pro.streamId = 0;
+            pro.accessSize = 8;
+            pro.numSrc = 1;
+            pro.src[0] = aarch64::kLinkReg;
+
+            StaticInst epi;
+            epi.kind = SlotKind::Load;
+            epi.streamId = 0;
+            epi.accessSize = 8;
+            epi.numDst = 1;
+            epi.dst[0] = aarch64::kLinkReg;
+
+            if (writeback_style) {
+                pro.mode = AddrMode::PreIndex;
+                epi.mode = AddrMode::PostIndex;
+                front.insert(front.begin(), pro);
+                back.push_back(epi);
+            } else {
+                pro.mode = AddrMode::Offset;
+                epi.mode = AddrMode::Offset;
+                StaticInst sub;
+                sub.kind = SlotKind::Alu;
+                sub.spAdjust = -16;
+                sub.numSrc = 1;
+                sub.src[0] = aarch64::kSp;
+                sub.numDst = 1;
+                sub.dst[0] = aarch64::kSp;
+                StaticInst add = sub;
+                add.spAdjust = 16;
+                front.insert(front.begin(), pro);
+                front.insert(front.begin(), sub);
+                back.push_back(epi);
+                back.push_back(add);
+            }
+        }
+    }
+
+    // --- Block-entry normalisation. ---
+    // Branch targets point at a block's first address.  Memory slots own
+    // a reserved (conditionally-emitted) helper address before the access
+    // itself, so a block that started with a memory slot would make taken
+    // branches appear to land short of the next fetched instruction.
+    // Guarantee every block leads with an always-emitted ALU (the frame
+    // set-up `mov x29, sp` idiom).
+    for (Function &fn : prog.functions) {
+        for (Block &blk : fn.blocks) {
+            if (!blk.insts.empty() && blk.insts.front().kind != SlotKind::Load
+                && blk.insts.front().kind != SlotKind::Store)
+                continue;
+            StaticInst lead;
+            lead.kind = SlotKind::Alu;
+            lead.numDst = 1;
+            lead.dst[0] = 29;   // the frame pointer: unused elsewhere
+            lead.numSrc = 1;
+            lead.src[0] = aarch64::kSp;
+            blk.insts.insert(blk.insts.begin(), lead);
+        }
+    }
+
+    // --- Address assignment. ---
+    Addr pc = prog.codeBase;
+    for (Function &fn : prog.functions) {
+        fn.entry = pc;
+        for (Block &blk : fn.blocks) {
+            blk.firstPc = pc;
+            for (StaticInst &si : blk.insts) {
+                si.pc = pc;
+                si.pcSlots = 1;
+                if (si.kind == SlotKind::Load ||
+                    si.kind == SlotKind::Store) {
+                    // Reserve room for a sync/materialisation ALU before
+                    // and an advance ADD after the access.
+                    si.pcSlots = 2;
+                    if (si.advance)
+                        si.pcSlots = 3;
+                }
+                pc += 4 * si.pcSlots;
+            }
+            Terminator &t = blk.term;
+            if (t.kind != TermKind::FallThrough) {
+                if (t.needsMat) {
+                    t.matPc = pc;
+                    pc += 4;
+                }
+                t.pc = pc;
+                pc += 4;
+            }
+        }
+        // Small inter-function gap (alignment padding).
+        pc = (pc + 63) & ~static_cast<Addr>(63);
+    }
+
+    return prog;
+}
+
+} // namespace trb

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Static program model for the synthetic workload generator.
+ *
+ * A SynthProgram is a call graph of functions made of basic blocks laid
+ * out at stable addresses (4-byte Aarch64 slots).  The *static* side fixes
+ * everything a real binary fixes -- instruction classes, register lists,
+ * addressing modes, branch targets, per-branch behaviour patterns -- while
+ * the *dynamic* side (generator.hh) walks it with architectural register
+ * values, a call stack and per-stream memory cursors, emitting a
+ * value-consistent CVP-1 trace.
+ *
+ * Some slots own more than one PC: memory accesses may be preceded by an
+ * address-materialisation or base-register-resynchronisation ALU, and may
+ * be followed by a base-advance ALU; indirect branches are preceded by a
+ * target-materialisation ALU.  Those helper instructions have their own
+ * reserved (static) addresses so the instruction footprint is stable even
+ * when a helper is conditionally skipped.
+ */
+
+#ifndef TRB_SYNTH_PROGRAM_HH
+#define TRB_SYNTH_PROGRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hh"
+#include "synth/params.hh"
+
+namespace trb
+{
+
+/** Kinds of non-terminator instructions a block slot can hold. */
+enum class SlotKind : std::uint8_t
+{
+    Alu,        //!< writes a GPR
+    Cmp,        //!< ALU with no destination (sets flags only)
+    SlowAlu,    //!< multi-cycle integer op
+    Fp,         //!< writes a SIMD register
+    FpCmp,      //!< FP compare, no destination
+    Load,
+    Store,
+};
+
+/** Addressing behaviour of a memory slot. */
+enum class AddrMode : std::uint8_t
+{
+    Offset,     //!< plain base+imm, no writeback
+    PreIndex,   //!< base updated before the access (EA == new base)
+    PostIndex,  //!< base updated after the access (EA == old base)
+    Pair,       //!< LDP/STP, two registers, no writeback
+    PairWb,     //!< LDP/STP with post-index writeback (three destinations)
+    Vector,     //!< LD2/LD3/LD4 style multi-register
+    Prefetch,   //!< PRFM: no destination register
+    Zva,        //!< DC ZVA: 64-byte aligned zeroing store
+};
+
+/** Access pattern of a memory stream. */
+enum class StreamPattern : std::uint8_t
+{
+    Sequential,     //!< monotonically advancing cursor (wraps at footprint)
+    RandomInRange,  //!< uniform within the footprint (computed addressing)
+    PointerChase,   //!< next address is the loaded value
+};
+
+/** One memory stream: footprint, stride and its dedicated base register. */
+struct Stream
+{
+    StreamPattern pattern = StreamPattern::Sequential;
+    RegId baseReg = 8;
+    Addr base = 0;
+    std::uint64_t strideBytes = 64;
+    std::uint64_t footprintLines = 512;
+};
+
+/** A fixed instruction slot inside a basic block. */
+struct StaticInst
+{
+    SlotKind kind = SlotKind::Alu;
+    Addr pc = 0;                    //!< first reserved address
+    std::uint8_t pcSlots = 1;       //!< reserved 4-byte addresses
+
+    std::uint8_t numDst = 0;
+    std::uint8_t numSrc = 0;
+    RegId dst[3] = {};
+    RegId src[3] = {};
+
+    // Memory-slot fields.
+    std::uint16_t streamId = 0;
+    AddrMode mode = AddrMode::Offset;
+    std::uint8_t accessSize = 8;    //!< bytes per transferred register
+    std::uint8_t memRegs = 1;       //!< registers transferred from memory
+    bool crossesLine = false;       //!< engineered to straddle cachelines
+    bool advance = false;           //!< emit a base-advance ADD afterwards
+    std::uint16_t immOffset = 0;    //!< static byte offset off the cursor
+    std::int16_t spAdjust = 0;      //!< ALU slots: SP += spAdjust
+};
+
+/** How a conditional terminator decides its outcome. */
+enum class BranchBehavior : std::uint8_t
+{
+    Biased,     //!< taken with a fixed probability
+    Loop,       //!< taken period-1 times, then falls through
+    Random,     //!< 50/50 -- unpredictable by construction
+    LoadDep,    //!< low bit of a register written by a same-block load
+};
+
+/** Block terminator kinds. */
+enum class TermKind : std::uint8_t
+{
+    FallThrough,    //!< no terminator instruction
+    CondBranch,
+    Jump,           //!< B: unconditional direct
+    IndirectJump,   //!< BR Xn: switch-style, several candidate targets
+    CallDirect,     //!< BL
+    CallIndirect,   //!< BLR Xn through a function-pointer register
+    CallIndirectX30,//!< BLR X30 -- the call-stack misclassification trigger
+    Return,         //!< RET (reads X30, writes nothing)
+};
+
+/** A block terminator with its statically-chosen behaviour. */
+struct Terminator
+{
+    TermKind kind = TermKind::FallThrough;
+    Addr pc = 0;                    //!< address of the branch itself
+    Addr matPc = 0;                 //!< address of the materialisation ALU
+    bool needsMat = false;          //!< indirect kinds materialise a target
+
+    std::uint32_t targetBlock = 0;  //!< CondBranch/Jump: block index
+    std::vector<std::uint32_t> candidates;  //!< IndirectJump blocks /
+                                            //!< indirect-call functions
+    std::uint32_t calleeFn = 0;     //!< CallDirect target function
+
+    BranchBehavior behavior = BranchBehavior::Biased;
+    double takenProb = 0.5;         //!< Biased only
+    std::uint16_t loopPeriod = 8;   //!< Loop only
+    bool viaReg = false;            //!< CBZ/TBZ style (reads a GPR)
+    RegId condSrcReg = 0;           //!< the GPR a viaReg conditional reads
+    std::uint32_t patternId = 0;    //!< index into dynamic loop counters
+    RegId ptrReg = 24;              //!< register indirect kinds read
+};
+
+/** A basic block: fixed slots plus one terminator. */
+struct Block
+{
+    Addr firstPc = 0;
+    std::vector<StaticInst> insts;
+    Terminator term;
+};
+
+/** A function: entry address, blocks and whether it saves X30. */
+struct Function
+{
+    Addr entry = 0;
+    std::vector<Block> blocks;
+    bool hasCalls = false;   //!< has a prologue/epilogue X30 save/restore
+};
+
+/**
+ * The whole static program: functions, streams and the number of dynamic
+ * branch-pattern slots handed out to terminators.
+ */
+struct SynthProgram
+{
+    std::vector<Function> functions;
+    std::vector<Stream> streams;
+    std::uint32_t numPatterns = 0;
+    Addr codeBase = 0x400000;
+    Addr stackBase = 0x7ff0000000;
+
+    /** Build a static program from workload parameters (deterministic). */
+    static SynthProgram build(const WorkloadParams &params);
+};
+
+} // namespace trb
+
+#endif // TRB_SYNTH_PROGRAM_HH

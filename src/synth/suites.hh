@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Suite definitions: the synthetic stand-ins for the 135 CVP-1 public
+ * traces and the 50 IPC-1 championship traces.  Per-trace parameters are
+ * jittered deterministically from the trace index so each suite spans the
+ * behaviour ranges the paper reports (instruction footprints, branch
+ * MPKIs, base-update densities, call-stack-bug density, memory
+ * boundedness).
+ */
+
+#ifndef TRB_SYNTH_SUITES_HH
+#define TRB_SYNTH_SUITES_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "synth/params.hh"
+
+namespace trb
+{
+
+/**
+ * The CVP-1 public suite: 135 traces (35 compute_int, 30 compute_fp,
+ * 5 crypto, 65 srv).  A subset of the srv traces carries BLR-X30
+ * indirect calls -- the trigger of the call-stack misclassification.
+ *
+ * @param length dynamic instructions per trace
+ */
+std::vector<TraceSpec> cvp1PublicSuite(std::uint64_t length);
+
+/**
+ * The IPC-1 suite: the 50 traces of Table 2 (8 client, 35 server,
+ * 7 SPEC), with per-row parameters shaped after the table's
+ * characterisation (L1I-MPKI ordering of the server traces, the
+ * memory-bound gcc inputs, the branchy gobmk inputs, ...).
+ */
+std::vector<TraceSpec> ipc1Suite(std::uint64_t length);
+
+} // namespace trb
+
+#endif // TRB_SYNTH_SUITES_HH

@@ -1,0 +1,79 @@
+#include "trace/branch_deduce.hh"
+
+namespace trb
+{
+
+RegUsage
+regUsage(const ChampSimRecord &rec)
+{
+    RegUsage u;
+    for (RegId r : rec.srcRegs) {
+        if (r == 0)
+            continue;
+        if (r == champsim::kStackPointer)
+            u.readsSp = true;
+        else if (r == champsim::kInstructionPointer)
+            u.readsIp = true;
+        else if (r == champsim::kFlags)
+            u.readsFlags = true;
+        else
+            u.readsOther = true;
+    }
+    for (RegId r : rec.destRegs) {
+        if (r == 0)
+            continue;
+        if (r == champsim::kStackPointer)
+            u.writesSp = true;
+        else if (r == champsim::kInstructionPointer)
+            u.writesIp = true;
+    }
+    return u;
+}
+
+BranchType
+deduceBranchType(const RegUsage &u, DeductionRules rules)
+{
+    if (!u.writesIp)
+        return BranchType::NotBranch;
+
+    const bool patched = rules == DeductionRules::Patched;
+
+    // Rule evaluation order mirrors ChampSim: the indirect-jump check runs
+    // before the conditional check, which is why the paper has to add the
+    // !readsIp condition once conditionals may read non-flag registers.
+    if (u.readsIp && !u.readsSp && !u.writesSp && !u.readsFlags &&
+        !u.readsOther)
+        return BranchType::DirectJump;
+
+    if (!u.readsSp && !u.writesSp && !u.readsFlags && u.readsOther &&
+        (!patched || !u.readsIp))
+        return BranchType::IndirectJump;
+
+    if (u.readsIp && !u.readsSp && !u.writesSp &&
+        (patched ? (u.readsFlags || u.readsOther)
+                 : (u.readsFlags && !u.readsOther)))
+        return BranchType::Conditional;
+
+    if (u.readsIp && u.readsSp && u.writesSp && !u.readsOther)
+        return BranchType::DirectCall;
+
+    if (!u.readsIp && u.readsSp && u.writesSp && u.readsOther)
+        return BranchType::IndirectCall;
+
+    if (!u.readsIp && u.readsSp && u.writesSp && !u.readsOther)
+        return BranchType::Return;
+
+    // Unrecognised register patterns behave like an always-taken direct
+    // jump, the least surprising fallback for a trace-driven front-end.
+    return BranchType::DirectJump;
+}
+
+BranchType
+deduceBranchType(const ChampSimRecord &rec, DeductionRules rules)
+{
+    if (!rec.isBranch)
+        return BranchType::NotBranch;
+    return deduceBranchType(regUsage(rec), rules);
+}
+
+} // namespace trb

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * ChampSim branch-type deduction.
+ *
+ * ChampSim traces carry no branch-type field; the simulator deduces the
+ * type from how the instruction uses the x86 stack-pointer, flags and
+ * instruction-pointer registers.  This header implements both rule sets:
+ *
+ *  - the *original* rules shipped with ChampSim, and
+ *  - the *patched* rules the paper introduces in Section 3.2.2 so that
+ *    conditional branches may read general-purpose registers instead of
+ *    flags (required by the branch-regs improvement):
+ *      1. a conditional branch reads flags OR other registers, and
+ *      2. an indirect jump additionally must NOT read the instruction
+ *         pointer (x86 indirect branches are absolute).
+ */
+
+#ifndef TRB_TRACE_BRANCH_DEDUCE_HH
+#define TRB_TRACE_BRANCH_DEDUCE_HH
+
+#include "common/types.hh"
+#include "trace/champsim_trace.hh"
+
+namespace trb
+{
+
+/** Which deduction rule set to apply. */
+enum class DeductionRules
+{
+    Original,   //!< rules in ChampSim at the time of the original converter
+    Patched,    //!< rules after the paper's Section 3.2.2 modifications
+};
+
+/** The register-usage facts deduction operates on. */
+struct RegUsage
+{
+    bool readsSp = false;
+    bool writesSp = false;
+    bool readsIp = false;
+    bool writesIp = false;
+    bool readsFlags = false;
+    bool readsOther = false;
+};
+
+/** Extract the deduction-relevant register usage from a record. */
+RegUsage regUsage(const ChampSimRecord &rec);
+
+/** Deduce the branch type from register usage under a rule set. */
+BranchType deduceBranchType(const RegUsage &usage, DeductionRules rules);
+
+/** Convenience overload on a whole record. */
+BranchType deduceBranchType(const ChampSimRecord &rec, DeductionRules rules);
+
+} // namespace trb
+
+#endif // TRB_TRACE_BRANCH_DEDUCE_HH

@@ -1,0 +1,57 @@
+#include "trace/champsim_trace.hh"
+
+#include <zlib.h>
+
+#include "common/logging.hh"
+
+namespace trb
+{
+
+void
+writeChampSimTrace(const std::string &path, const ChampSimTrace &trace)
+{
+    bool compress = path.size() > 3 &&
+                    path.compare(path.size() - 3, 3, ".gz") == 0;
+    gzFile f = gzopen(path.c_str(), compress ? "wb6" : "wbT");
+    if (!f)
+        trb_fatal("cannot open ChampSim trace for writing: ", path);
+    constexpr std::size_t chunk = 16384;
+    for (std::size_t i = 0; i < trace.size(); i += chunk) {
+        std::size_t n = std::min(chunk, trace.size() - i);
+        if (gzwrite(f, trace.data() + i,
+                    static_cast<unsigned>(n * sizeof(ChampSimRecord))) <= 0) {
+            gzclose(f);
+            trb_fatal("write error on ChampSim trace: ", path);
+        }
+    }
+    gzclose(f);
+}
+
+ChampSimTrace
+readChampSimTrace(const std::string &path)
+{
+    gzFile f = gzopen(path.c_str(), "rb");
+    if (!f)
+        trb_fatal("cannot open ChampSim trace for reading: ", path);
+    ChampSimTrace trace;
+    ChampSimRecord rec;
+    for (;;) {
+        int got = gzread(f, &rec, sizeof(rec));
+        if (got == 0)
+            break;
+        if (got < 0) {
+            gzclose(f);
+            trb_fatal("read error on ChampSim trace: ", path);
+        }
+        if (static_cast<std::size_t>(got) != sizeof(rec)) {
+            gzclose(f);
+            trb_fatal("truncated ChampSim trace (", got,
+                      " trailing bytes): ", path);
+        }
+        trace.push_back(rec);
+    }
+    gzclose(f);
+    return trace;
+}
+
+} // namespace trb

@@ -1,0 +1,260 @@
+#include "trace/cvp_trace.hh"
+
+#include <zlib.h>
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace trb
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'T', 'R', 'B', '1', 'C', 'V', 'P', '\0'};
+constexpr std::uint32_t kVersion = 1;
+
+void
+putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+bool
+getU64(const std::uint8_t *data, std::size_t size, std::size_t &offset,
+       std::uint64_t &v)
+{
+    if (offset + 8 > size)
+        return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i)
+        v |= static_cast<std::uint64_t>(data[offset + i]) << (8 * i);
+    offset += 8;
+    return true;
+}
+
+bool
+getU8(const std::uint8_t *data, std::size_t size, std::size_t &offset,
+      std::uint8_t &v)
+{
+    if (offset + 1 > size)
+        return false;
+    v = data[offset++];
+    return true;
+}
+
+/** Open for writing; ".gz" suffix selects compression, else transparent. */
+gzFile
+openForWrite(const std::string &path)
+{
+    bool compress = path.size() > 3 &&
+                    path.compare(path.size() - 3, 3, ".gz") == 0;
+    gzFile f = gzopen(path.c_str(), compress ? "wb6" : "wbT");
+    if (!f)
+        trb_fatal("cannot open trace file for writing: ", path);
+    return f;
+}
+
+} // namespace
+
+bool
+CvpRecord::operator==(const CvpRecord &other) const
+{
+    if (pc != other.pc || cls != other.cls || numSrc != other.numSrc ||
+        numDst != other.numDst)
+        return false;
+    if (isBranch(cls) && (taken != other.taken || target != other.target))
+        return false;
+    if (isMem(cls) && (ea != other.ea || accessSize != other.accessSize))
+        return false;
+    for (unsigned i = 0; i < numSrc; ++i)
+        if (src[i] != other.src[i])
+            return false;
+    for (unsigned i = 0; i < numDst; ++i)
+        if (dst[i] != other.dst[i] || dstValue[i] != other.dstValue[i])
+            return false;
+    return true;
+}
+
+void
+serializeCvpRecord(const CvpRecord &rec, std::vector<std::uint8_t> &out)
+{
+    putU64(out, rec.pc);
+    out.push_back(static_cast<std::uint8_t>(rec.cls));
+    if (isBranch(rec.cls)) {
+        out.push_back(rec.taken ? 1 : 0);
+        putU64(out, rec.target);
+    }
+    if (isMem(rec.cls)) {
+        putU64(out, rec.ea);
+        out.push_back(rec.accessSize);
+    }
+    trb_assert(rec.numSrc <= kMaxCvpSrc, "too many sources");
+    out.push_back(rec.numSrc);
+    for (unsigned i = 0; i < rec.numSrc; ++i)
+        out.push_back(rec.src[i]);
+    trb_assert(rec.numDst <= kMaxCvpDst, "too many destinations");
+    out.push_back(rec.numDst);
+    for (unsigned i = 0; i < rec.numDst; ++i)
+        out.push_back(rec.dst[i]);
+    for (unsigned i = 0; i < rec.numDst; ++i)
+        putU64(out, rec.dstValue[i]);
+}
+
+bool
+deserializeCvpRecord(const std::uint8_t *data, std::size_t size,
+                     std::size_t &offset, CvpRecord &rec)
+{
+    std::size_t at = offset;
+    rec = CvpRecord{};
+    std::uint8_t byte = 0;
+    if (!getU64(data, size, at, rec.pc) || !getU8(data, size, at, byte))
+        return false;
+    if (byte > static_cast<std::uint8_t>(InstClass::Undef))
+        return false;
+    rec.cls = static_cast<InstClass>(byte);
+    if (isBranch(rec.cls)) {
+        if (!getU8(data, size, at, byte))
+            return false;
+        rec.taken = byte != 0;
+        if (!getU64(data, size, at, rec.target))
+            return false;
+    }
+    if (isMem(rec.cls)) {
+        if (!getU64(data, size, at, rec.ea) ||
+            !getU8(data, size, at, rec.accessSize))
+            return false;
+    }
+    if (!getU8(data, size, at, rec.numSrc) || rec.numSrc > kMaxCvpSrc)
+        return false;
+    for (unsigned i = 0; i < rec.numSrc; ++i)
+        if (!getU8(data, size, at, rec.src[i]))
+            return false;
+    if (!getU8(data, size, at, rec.numDst) || rec.numDst > kMaxCvpDst)
+        return false;
+    for (unsigned i = 0; i < rec.numDst; ++i)
+        if (!getU8(data, size, at, rec.dst[i]))
+            return false;
+    for (unsigned i = 0; i < rec.numDst; ++i)
+        if (!getU64(data, size, at, rec.dstValue[i]))
+            return false;
+    offset = at;
+    return true;
+}
+
+void
+writeCvpTrace(const std::string &path, const CvpTrace &trace)
+{
+    gzFile f = openForWrite(path);
+    std::vector<std::uint8_t> buf;
+    buf.reserve(1u << 20);
+    buf.insert(buf.end(), kMagic, kMagic + sizeof(kMagic));
+    for (int i = 0; i < 4; ++i)
+        buf.push_back(static_cast<std::uint8_t>(kVersion >> (8 * i)));
+    putU64(buf, trace.size());
+    for (const CvpRecord &rec : trace) {
+        serializeCvpRecord(rec, buf);
+        if (buf.size() >= (1u << 20)) {
+            if (gzwrite(f, buf.data(), static_cast<unsigned>(buf.size())) <=
+                0) {
+                gzclose(f);
+                trb_fatal("write error on trace file: ", path);
+            }
+            buf.clear();
+        }
+    }
+    if (!buf.empty() &&
+        gzwrite(f, buf.data(), static_cast<unsigned>(buf.size())) <= 0) {
+        gzclose(f);
+        trb_fatal("write error on trace file: ", path);
+    }
+    gzclose(f);
+}
+
+CvpTrace
+readCvpTrace(const std::string &path)
+{
+    CvpTraceReader reader(path);
+    CvpTrace trace;
+    trace.reserve(reader.count());
+    CvpRecord rec;
+    while (reader.next(rec))
+        trace.push_back(rec);
+    return trace;
+}
+
+CvpTraceReader::CvpTraceReader(const std::string &path)
+{
+    gzFile f = gzopen(path.c_str(), "rb");
+    if (!f)
+        trb_fatal("cannot open trace file for reading: ", path);
+    file_ = f;
+    buffer_.resize(1u << 20);
+    buffer_.clear();
+    fill();
+    // Header: magic, version, count.
+    if (buffer_.size() < 20 ||
+        std::memcmp(buffer_.data(), kMagic, sizeof(kMagic)) != 0)
+        trb_fatal("not a TraceRebase CVP-1 trace: ", path);
+    std::uint32_t version = 0;
+    for (int i = 0; i < 4; ++i)
+        version |= static_cast<std::uint32_t>(buffer_[8 + i]) << (8 * i);
+    if (version != kVersion)
+        trb_fatal("unsupported CVP-1 trace version ", version, " in ", path);
+    pos_ = 12;
+    std::size_t at = pos_;
+    if (!getU64(buffer_.data(), buffer_.size(), at, count_))
+        trb_fatal("truncated CVP-1 trace header: ", path);
+    pos_ = at;
+}
+
+CvpTraceReader::~CvpTraceReader()
+{
+    if (file_)
+        gzclose(static_cast<gzFile>(file_));
+}
+
+void
+CvpTraceReader::fill()
+{
+    if (eof_)
+        return;
+    // Compact consumed bytes, then top the buffer up to capacity.
+    if (pos_ > 0) {
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() + static_cast<std::ptrdiff_t>(pos_));
+        pos_ = 0;
+    }
+    std::size_t old = buffer_.size();
+    std::size_t want = (1u << 20) - old;
+    buffer_.resize(old + want);
+    int got = gzread(static_cast<gzFile>(file_), buffer_.data() + old,
+                     static_cast<unsigned>(want));
+    if (got < 0)
+        trb_fatal("read error on CVP-1 trace");
+    buffer_.resize(old + static_cast<std::size_t>(got));
+    if (static_cast<std::size_t>(got) < want)
+        eof_ = true;
+}
+
+bool
+CvpTraceReader::next(CvpRecord &rec)
+{
+    if (delivered_ >= count_)
+        return false;
+    std::size_t at = pos_;
+    if (!deserializeCvpRecord(buffer_.data(), buffer_.size(), at, rec)) {
+        fill();
+        at = pos_;
+        if (!deserializeCvpRecord(buffer_.data(), buffer_.size(), at, rec))
+            trb_fatal("truncated CVP-1 trace: expected ", count_,
+                      " records, got ", delivered_);
+    }
+    pos_ = at;
+    ++delivered_;
+    return true;
+}
+
+} // namespace trb

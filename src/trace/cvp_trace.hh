@@ -1,0 +1,162 @@
+/**
+ * @file
+ * The CVP-1 trace format: in-memory record, binary serialisation, and
+ * file readers/writers (zlib-backed, so plain and .gz files both work).
+ *
+ * The on-disk layout is our reconstruction of the public CVP-1 trace
+ * reader's variable-length record:
+ *
+ *   u64  pc
+ *   u8   instruction class (InstClass)
+ *   [branches]  u8 taken, u64 target
+ *   [loads/stores]  u64 effective address, u8 per-register access size
+ *   u8   #source regs,      that many u8 reg ids
+ *   u8   #destination regs, that many u8 reg ids, then that many u64
+ *        output values (the architectural value written to each
+ *        destination register -- the property CVP-1 traces are famous for)
+ *
+ * A 16-byte file header ("TRB1CVP\0", format version, instruction count)
+ * precedes the records; the real Qualcomm traces are headerless, but since
+ * both producers and consumers of this format live in this repository a
+ * header buys cheap integrity checking.
+ */
+
+#ifndef TRB_TRACE_CVP_TRACE_HH
+#define TRB_TRACE_CVP_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace trb
+{
+
+/** Maximum source registers a CVP-1 record can carry (CASP reaches 5). */
+constexpr unsigned kMaxCvpSrc = 8;
+/** Maximum destination registers a CVP-1 record can carry (0..3 typical). */
+constexpr unsigned kMaxCvpDst = 4;
+
+/**
+ * One dynamic instruction as recorded by the CVP-1 tracer.
+ *
+ * Note what is *absent* -- addressing mode, opcode, special-purpose
+ * registers (flags), exact footprint of multi-register loads -- because
+ * those absences are exactly what the improved converter has to infer
+ * around.
+ */
+struct CvpRecord
+{
+    Addr pc = 0;
+    InstClass cls = InstClass::Alu;
+
+    /** Branch fields; only meaningful when isBranch(cls). */
+    bool taken = false;
+    Addr target = 0;
+
+    /** Memory fields; only meaningful when isMem(cls). */
+    Addr ea = 0;
+    std::uint8_t accessSize = 0;   //!< bytes transferred per register
+
+    std::uint8_t numSrc = 0;
+    RegId src[kMaxCvpSrc] = {};
+
+    std::uint8_t numDst = 0;
+    RegId dst[kMaxCvpDst] = {};
+    std::uint64_t dstValue[kMaxCvpDst] = {};
+
+    /** Append a source register (silently drops past kMaxCvpSrc). */
+    void
+    addSrc(RegId r)
+    {
+        if (numSrc < kMaxCvpSrc)
+            src[numSrc++] = r;
+    }
+
+    /** Append a destination register with its output value. */
+    void
+    addDst(RegId r, std::uint64_t value)
+    {
+        if (numDst < kMaxCvpDst) {
+            dst[numDst] = r;
+            dstValue[numDst] = value;
+            ++numDst;
+        }
+    }
+
+    /** True if @p r appears among the source registers. */
+    bool
+    readsReg(RegId r) const
+    {
+        for (unsigned i = 0; i < numSrc; ++i)
+            if (src[i] == r)
+                return true;
+        return false;
+    }
+
+    /** True if @p r appears among the destination registers. */
+    bool
+    writesReg(RegId r) const
+    {
+        for (unsigned i = 0; i < numDst; ++i)
+            if (dst[i] == r)
+                return true;
+        return false;
+    }
+
+    bool operator==(const CvpRecord &other) const;
+};
+
+/** A whole CVP-1 trace held in memory. */
+using CvpTrace = std::vector<CvpRecord>;
+
+/** Serialise a single record, appending to @p out. */
+void serializeCvpRecord(const CvpRecord &rec, std::vector<std::uint8_t> &out);
+
+/**
+ * Deserialise a single record from @p data at @p offset (advanced past the
+ * record).  Returns false on truncated input.
+ */
+bool deserializeCvpRecord(const std::uint8_t *data, std::size_t size,
+                          std::size_t &offset, CvpRecord &rec);
+
+/** Write a trace to @p path; a ".gz" suffix selects compression. */
+void writeCvpTrace(const std::string &path, const CvpTrace &trace);
+
+/** Read a trace written by writeCvpTrace(); fatal on malformed input. */
+CvpTrace readCvpTrace(const std::string &path);
+
+/**
+ * Streaming reader over a CVP-1 trace file, for consumers that do not want
+ * the whole trace in memory (the converter CLI uses this).
+ */
+class CvpTraceReader
+{
+  public:
+    explicit CvpTraceReader(const std::string &path);
+    ~CvpTraceReader();
+
+    CvpTraceReader(const CvpTraceReader &) = delete;
+    CvpTraceReader &operator=(const CvpTraceReader &) = delete;
+
+    /** Instruction count promised by the header. */
+    std::uint64_t count() const { return count_; }
+
+    /** Fetch the next record; false at end of trace. */
+    bool next(CvpRecord &rec);
+
+  private:
+    void fill();
+
+    void *file_ = nullptr;          //!< gzFile, kept opaque here
+    std::vector<std::uint8_t> buffer_;
+    std::size_t pos_ = 0;
+    bool eof_ = false;
+    std::uint64_t count_ = 0;
+    std::uint64_t delivered_ = 0;
+};
+
+} // namespace trb
+
+#endif // TRB_TRACE_CVP_TRACE_HH

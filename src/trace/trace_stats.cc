@@ -1,0 +1,131 @@
+#include "trace/trace_stats.hh"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace trb
+{
+
+CvpTraceStats
+characterizeCvp(const CvpTrace &trace)
+{
+    CvpTraceStats s;
+    std::unordered_set<Addr> pcs;
+    for (const CvpRecord &rec : trace) {
+        ++s.instructions;
+        ++s.perClass[static_cast<std::size_t>(rec.cls)];
+        pcs.insert(rec.pc);
+        if (isBranch(rec.cls)) {
+            ++s.branches;
+            if (rec.taken)
+                ++s.takenBranches;
+            if (rec.readsReg(aarch64::kLinkReg))
+                ++s.branchesReadingX30;
+            if (rec.writesReg(aarch64::kLinkReg))
+                ++s.branchesWritingX30;
+            bool gpr_src = false;
+            for (unsigned i = 0; i < rec.numSrc; ++i)
+                if (rec.src[i] != aarch64::kLinkReg &&
+                    rec.src[i] != aarch64::kSp)
+                    gpr_src = true;
+            if (gpr_src)
+                ++s.branchesWithGprSources;
+        } else if (isMem(rec.cls)) {
+            if (rec.cls == InstClass::Load)
+                ++s.loads;
+            else
+                ++s.stores;
+            ++s.dstCountHist[rec.numDst];
+            if (rec.numDst == 0)
+                ++s.memNoDst;
+            if (rec.numDst >= 2)
+                ++s.memMultiDst;
+            if (rec.accessSize > 0 &&
+                lineNum(rec.ea) != lineNum(rec.ea + rec.accessSize - 1))
+                ++s.lineCrossing;
+        } else if (rec.cls == InstClass::Alu ||
+                   rec.cls == InstClass::SlowAlu ||
+                   rec.cls == InstClass::Fp) {
+            if (rec.numDst == 0)
+                ++s.aluNoDst;
+        }
+    }
+    s.staticPcs = pcs.size();
+    return s;
+}
+
+std::string
+CvpTraceStats::report() const
+{
+    std::ostringstream os;
+    os << "instructions " << instructions << "\n";
+    for (std::size_t c = 0; c < perClass.size(); ++c) {
+        if (perClass[c] == 0)
+            continue;
+        os << "class." << instClassName(static_cast<InstClass>(c)) << " "
+           << perClass[c] << "\n";
+    }
+    os << "static_pcs " << staticPcs << "\n"
+       << "branches " << branches << "\n"
+       << "branches.taken " << takenBranches << "\n"
+       << "branches.reading_x30 " << branchesReadingX30 << "\n"
+       << "branches.writing_x30 " << branchesWritingX30 << "\n"
+       << "branches.gpr_sources " << branchesWithGprSources << "\n"
+       << "loads " << loads << "\n"
+       << "stores " << stores << "\n"
+       << "mem.no_dst " << memNoDst << "\n"
+       << "mem.multi_dst " << memMultiDst << "\n"
+       << "mem.line_crossing " << lineCrossing << "\n"
+       << "alu.no_dst " << aluNoDst << "\n";
+    for (std::size_t i = 0; i < dstCountHist.size(); ++i)
+        os << "mem.dst_count." << i << " " << dstCountHist[i] << "\n";
+    return os.str();
+}
+
+ChampSimTraceStats
+characterizeChampSim(const ChampSimTrace &trace, DeductionRules rules)
+{
+    ChampSimTraceStats s;
+    std::unordered_set<Addr> pcs;
+    for (const ChampSimRecord &rec : trace) {
+        ++s.instructions;
+        pcs.insert(rec.ip);
+        if (rec.isBranch) {
+            ++s.branches;
+            if (rec.branchTaken)
+                ++s.takenBranches;
+            ++s.perBranchType[
+                static_cast<std::size_t>(deduceBranchType(rec, rules))];
+        }
+        if (rec.isLoad())
+            ++s.loads;
+        if (rec.isStore())
+            ++s.stores;
+        if (rec.numSrcMem() > 1 || rec.numDstMem() > 1)
+            ++s.multiLineAccesses;
+    }
+    s.staticPcs = pcs.size();
+    return s;
+}
+
+std::string
+ChampSimTraceStats::report() const
+{
+    std::ostringstream os;
+    os << "instructions " << instructions << "\n"
+       << "static_pcs " << staticPcs << "\n"
+       << "branches " << branches << "\n"
+       << "branches.taken " << takenBranches << "\n";
+    for (std::size_t t = 0; t < perBranchType.size(); ++t) {
+        if (perBranchType[t] == 0)
+            continue;
+        os << "branch." << branchTypeName(static_cast<BranchType>(t)) << " "
+           << perBranchType[t] << "\n";
+    }
+    os << "loads " << loads << "\n"
+       << "stores " << stores << "\n"
+       << "mem.multi_line " << multiLineAccesses << "\n";
+    return os.str();
+}
+
+} // namespace trb

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Trace characterisation: static/dynamic instruction mixes, register-list
+ * shapes and branch-class breakdowns for CVP-1 and ChampSim traces.  Used
+ * by the trace_inspector example and by tests that pin the synthetic
+ * generator's output distribution.
+ */
+
+#ifndef TRB_TRACE_TRACE_STATS_HH
+#define TRB_TRACE_TRACE_STATS_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "trace/branch_deduce.hh"
+#include "trace/champsim_trace.hh"
+#include "trace/cvp_trace.hh"
+
+namespace trb
+{
+
+/** Dynamic characterisation of a CVP-1 trace. */
+struct CvpTraceStats
+{
+    std::uint64_t instructions = 0;
+    std::array<std::uint64_t, 9> perClass{};   //!< indexed by InstClass
+
+    std::uint64_t branches = 0;
+    std::uint64_t takenBranches = 0;
+    std::uint64_t branchesReadingX30 = 0;
+    std::uint64_t branchesWritingX30 = 0;
+    std::uint64_t branchesWithGprSources = 0;
+
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::array<std::uint64_t, kMaxCvpDst + 1> dstCountHist{};
+    std::uint64_t memNoDst = 0;        //!< prefetches / plain stores
+    std::uint64_t memMultiDst = 0;     //!< LDP / base-update / vector loads
+    std::uint64_t lineCrossing = 0;    //!< naive single-access estimate
+    std::uint64_t aluNoDst = 0;        //!< compares etc. (flag-reg targets)
+
+    std::uint64_t staticPcs = 0;       //!< distinct instruction addresses
+
+    std::string report() const;
+};
+
+/** Characterise an in-memory CVP-1 trace. */
+CvpTraceStats characterizeCvp(const CvpTrace &trace);
+
+/** Dynamic characterisation of a ChampSim trace. */
+struct ChampSimTraceStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t takenBranches = 0;
+    std::array<std::uint64_t, 7> perBranchType{};  //!< indexed by BranchType
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t multiLineAccesses = 0;   //!< >1 populated memory slot
+    std::uint64_t staticPcs = 0;
+
+    std::string report() const;
+};
+
+/** Characterise an in-memory ChampSim trace under a rule set. */
+ChampSimTraceStats characterizeChampSim(const ChampSimTrace &trace,
+                                        DeductionRules rules);
+
+} // namespace trb
+
+#endif // TRB_TRACE_TRACE_STATS_HH

@@ -1,0 +1,57 @@
+#include "uarch/btb.hh"
+
+#include "common/logging.hh"
+
+namespace trb
+{
+
+Btb::Btb(std::size_t entries, unsigned ways) : ways_(ways)
+{
+    trb_assert(ways >= 1 && entries % ways == 0,
+               "BTB entries must divide evenly into ways");
+    std::size_t sets = entries / ways;
+    trb_assert((sets & (sets - 1)) == 0, "BTB set count must be power of 2");
+    setMask_ = sets - 1;
+    entries_.assign(entries, Entry{});
+}
+
+BtbEntryView
+Btb::lookup(Addr pc)
+{
+    ++lookups_;
+    Entry *set = &entries_[setIndex(pc) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].tag == tagOf(pc)) {
+            set[w].lru = ++clock_;
+            ++hits_;
+            return {true, set[w].target, set[w].type};
+        }
+    }
+    return {};
+}
+
+void
+Btb::update(Addr pc, Addr target, BranchType type)
+{
+    Entry *set = &entries_[setIndex(pc) * ways_];
+    Entry *victim = &set[0];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (set[w].valid && set[w].tag == tagOf(pc)) {
+            victim = &set[w];
+            break;
+        }
+        if (!set[w].valid) {
+            victim = &set[w];
+            break;
+        }
+        if (set[w].lru < victim->lru)
+            victim = &set[w];
+    }
+    victim->valid = true;
+    victim->tag = tagOf(pc);
+    victim->target = target;
+    victim->type = type;
+    victim->lru = ++clock_;
+}
+
+} // namespace trb

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Conditional branch direction predictors: the common interface plus the
+ * two classic baselines (bimodal, gshare).  The championship-grade
+ * TAGE-SC-L-lite predictor lives in tage.hh.
+ */
+
+#ifndef TRB_UARCH_DIRECTION_PRED_HH
+#define TRB_UARCH_DIRECTION_PRED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/counters.hh"
+#include "common/types.hh"
+
+namespace trb
+{
+
+/** Interface of a conditional-branch direction predictor. */
+class DirectionPredictor
+{
+  public:
+    virtual ~DirectionPredictor() = default;
+
+    /** Predict the direction of the conditional branch at @p pc. */
+    virtual bool predict(Addr pc) = 0;
+
+    /**
+     * Train with the resolved outcome.  Implementations fold their
+     * speculative history here as well; the trace-driven pipeline never
+     * runs a wrong path, so prediction and update alternate per branch.
+     */
+    virtual void update(Addr pc, bool taken) = 0;
+
+    /** Human-readable predictor name for reports. */
+    virtual const char *name() const = 0;
+};
+
+/** PC-indexed table of 2-bit counters. */
+class BimodalPredictor : public DirectionPredictor
+{
+  public:
+    explicit BimodalPredictor(unsigned log2_entries = 14)
+        : mask_((1u << log2_entries) - 1),
+          table_(std::size_t{1} << log2_entries, SatCounter(2, 1))
+    {}
+
+    bool
+    predict(Addr pc) override
+    {
+        return table_[index(pc)].taken();
+    }
+
+    void
+    update(Addr pc, bool taken) override
+    {
+        table_[index(pc)].update(taken);
+    }
+
+    const char *name() const override { return "bimodal"; }
+
+  private:
+    std::size_t index(Addr pc) const { return (pc >> 2) & mask_; }
+
+    std::uint32_t mask_;
+    std::vector<SatCounter> table_;
+};
+
+/** Global-history xor PC indexed table of 2-bit counters. */
+class GsharePredictor : public DirectionPredictor
+{
+  public:
+    explicit GsharePredictor(unsigned log2_entries = 14,
+                             unsigned history_bits = 14)
+        : mask_((1u << log2_entries) - 1),
+          histMask_((1u << history_bits) - 1),
+          table_(std::size_t{1} << log2_entries, SatCounter(2, 1))
+    {}
+
+    bool
+    predict(Addr pc) override
+    {
+        return table_[index(pc)].taken();
+    }
+
+    void
+    update(Addr pc, bool taken) override
+    {
+        table_[index(pc)].update(taken);
+        history_ = ((history_ << 1) | (taken ? 1 : 0)) & histMask_;
+    }
+
+    const char *name() const override { return "gshare"; }
+
+  private:
+    std::size_t
+    index(Addr pc) const
+    {
+        return ((pc >> 2) ^ history_) & mask_;
+    }
+
+    std::uint32_t mask_;
+    std::uint32_t histMask_;
+    std::uint32_t history_ = 0;
+    std::vector<SatCounter> table_;
+};
+
+} // namespace trb
+
+#endif // TRB_UARCH_DIRECTION_PRED_HH

@@ -1,0 +1,291 @@
+/**
+ * @file
+ * Tests for the cache substrate: tag-array behaviour under both
+ * replacement policies, hierarchy latency composition, MSHR-style
+ * in-flight merging, and the data prefetchers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/cache.hh"
+#include "cache/hierarchy.hh"
+#include "cache/prefetcher.hh"
+
+namespace trb
+{
+namespace
+{
+
+CacheParams
+tiny(const char *name, std::size_t bytes, unsigned ways,
+     ReplPolicy policy = ReplPolicy::Lru)
+{
+    CacheParams p;
+    p.name = name;
+    p.sizeBytes = bytes;
+    p.ways = ways;
+    p.policy = policy;
+    return p;
+}
+
+TEST(Cache, HitAfterInsert)
+{
+    Cache c(tiny("t", 4096, 4));
+    Addr victim = 0;
+    EXPECT_FALSE(c.access(0x1000, false));
+    c.insert(0x1000, false, false, victim);
+    EXPECT_TRUE(c.access(0x1000, false));
+    EXPECT_TRUE(c.access(0x103f, false));   // same line
+    EXPECT_FALSE(c.access(0x1040, false));  // next line
+    EXPECT_EQ(c.misses(), 2u);
+    EXPECT_EQ(c.accesses(), 4u);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 4 sets x 2 ways; lines mapping to set 0 stride by 4*64.
+    Cache c(tiny("t", 8 * 64, 2));
+    ASSERT_EQ(c.numSets(), 4u);
+    Addr stride = 4 * 64;
+    Addr victim = 0;
+    c.insert(0x0, false, false, victim);
+    c.insert(stride, false, false, victim);
+    EXPECT_TRUE(c.access(0x0, false));      // refresh line 0
+    c.insert(2 * stride, false, false, victim);
+    EXPECT_EQ(victim, stride);              // LRU was the middle one
+    EXPECT_TRUE(c.probe(0x0));
+    EXPECT_FALSE(c.probe(stride));
+}
+
+TEST(Cache, DirtyWritebackSignalled)
+{
+    Cache c(tiny("t", 2 * 64, 1));
+    Addr victim = 0;
+    c.insert(0x0, true, false, victim);     // dirty line, set 0
+    bool wb = c.insert(2 * 64, false, false, victim);   // same set
+    EXPECT_TRUE(wb);
+    EXPECT_EQ(victim, 0u);
+    EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(Cache, WriteMarksDirty)
+{
+    Cache c(tiny("t", 2 * 64, 1));
+    Addr victim = 0;
+    c.insert(0x0, false, false, victim);
+    EXPECT_TRUE(c.access(0x0, true));       // write hit dirties the line
+    EXPECT_TRUE(c.insert(2 * 64, false, false, victim));
+}
+
+TEST(Cache, SrripPrefetchInsertedDistant)
+{
+    // SRRIP: prefetched lines insert at distant RRPV and get evicted
+    // before demand lines that have been reused.
+    Cache c(tiny("t", 4 * 64, 4, ReplPolicy::Srrip));
+    Addr victim = 0;
+    c.insert(0 * 4 * 64, false, false, victim);
+    c.access(0, false);                     // promote to RRPV 0
+    c.insert(1 * 4 * 64, false, true, victim);   // prefetch: RRPV 3
+    c.insert(2 * 4 * 64, false, false, victim);
+    c.insert(3 * 4 * 64, false, false, victim);
+    c.insert(4 * 4 * 64, false, false, victim);  // needs a victim
+    EXPECT_EQ(victim, 1u * 4 * 64);         // the prefetched line goes
+    EXPECT_TRUE(c.probe(0));
+}
+
+TEST(Cache, InvalidateReportsDirty)
+{
+    Cache c(tiny("t", 4096, 4));
+    Addr victim = 0;
+    c.insert(0x1000, true, false, victim);
+    EXPECT_TRUE(c.invalidate(0x1000));
+    EXPECT_FALSE(c.probe(0x1000));
+    EXPECT_FALSE(c.invalidate(0x1000));
+}
+
+// ---------------------------------------------------------------------
+
+HierarchyParams
+smallHierarchy()
+{
+    HierarchyParams p;
+    p.l1i = tiny("L1I", 4 * 1024, 4);
+    p.l1i.latency = 4;
+    p.l1d = tiny("L1D", 4 * 1024, 4);
+    p.l1d.latency = 5;
+    p.l2 = tiny("L2", 32 * 1024, 8);
+    p.l2.latency = 10;
+    p.llc = tiny("LLC", 256 * 1024, 16);
+    p.llc.latency = 24;
+    p.dramLatency = 180;
+    p.l1dIpStride = false;
+    p.l2NextLine = false;
+    return p;
+}
+
+TEST(Hierarchy, LatencyComposition)
+{
+    MemoryHierarchy mh(smallHierarchy());
+    // Cold: DRAM.
+    auto r1 = mh.access(AccessKind::Load, 0x100000, 0x400000, 0);
+    EXPECT_EQ(r1.latency, 5u + 10 + 24 + 180);
+    EXPECT_EQ(r1.level, 4u);
+    // Warm L1.
+    auto r2 = mh.access(AccessKind::Load, 0x100000, 0x400000, 1000);
+    EXPECT_EQ(r2.latency, 5u);
+    EXPECT_EQ(r2.level, 1u);
+    EXPECT_EQ(mh.l1dMisses(), 1u);
+    EXPECT_EQ(mh.l2Misses(), 1u);
+    EXPECT_EQ(mh.llcMisses(), 1u);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction)
+{
+    auto p = smallHierarchy();
+    MemoryHierarchy mh(p);
+    // Fill well past L1D capacity (4KB = 64 lines) but within L2.
+    for (Addr a = 0; a < 256; ++a)
+        mh.access(AccessKind::Load, 0x200000 + a * 64, 0x400000,
+                  a * 1000);
+    // The first line fell out of L1D but sits in L2.
+    auto r = mh.access(AccessKind::Load, 0x200000, 0x400000, 10000000);
+    EXPECT_EQ(r.latency, 5u + 10);
+    EXPECT_EQ(r.level, 2u);
+}
+
+TEST(Hierarchy, InflightMergePaysRemainingLatency)
+{
+    MemoryHierarchy mh(smallHierarchy());
+    auto r1 = mh.access(AccessKind::Load, 0x300000, 0x400000, 100);
+    ASSERT_GT(r1.latency, 100u);
+    // A second access 50 cycles later merges with the outstanding fill.
+    auto r2 = mh.access(AccessKind::Load, 0x300040 - 64, 0x400004, 150);
+    EXPECT_EQ(r2.latency, 5u + (100 + (r1.latency - 5) - 150));
+    // Long after completion: plain hit.
+    auto r3 = mh.access(AccessKind::Load, 0x300000, 0x400000, 100000);
+    EXPECT_EQ(r3.latency, 5u);
+}
+
+TEST(Hierarchy, InstrAndDataPathsSeparate)
+{
+    MemoryHierarchy mh(smallHierarchy());
+    mh.access(AccessKind::Instr, 0x400000, 0, 0);
+    EXPECT_EQ(mh.l1iMisses(), 1u);
+    EXPECT_EQ(mh.l1dMisses(), 0u);
+    auto r = mh.access(AccessKind::Instr, 0x400000, 0, 100000);
+    EXPECT_EQ(r.latency, 4u);
+    // The same line as data: L1D misses but L2 has it.
+    auto rd = mh.access(AccessKind::Load, 0x400000, 0x1234, 200000);
+    EXPECT_EQ(rd.latency, 5u + 10);
+}
+
+TEST(Hierarchy, InstrPrefetchHidesLatency)
+{
+    MemoryHierarchy mh(smallHierarchy());
+    EXPECT_TRUE(mh.prefetchInstr(0x500000, 0));
+    EXPECT_FALSE(mh.prefetchInstr(0x500000, 1));   // already in flight
+    // Early demand: still pays the remaining fill time.
+    auto r_early = mh.access(AccessKind::Instr, 0x500000, 0, 10);
+    EXPECT_LT(r_early.latency, 4u + 10 + 24 + 180);
+    // After the fill completes the line is a plain hit.
+    auto r = mh.access(AccessKind::Instr, 0x500040 - 64, 0, 100000);
+    EXPECT_EQ(r.latency, 4u);
+    EXPECT_EQ(mh.l1iMisses(), 1u);   // the early demand still missed tags
+}
+
+TEST(Hierarchy, ProbeL1IRespectsInflight)
+{
+    MemoryHierarchy mh(smallHierarchy());
+    EXPECT_FALSE(mh.probeL1I(0x600000, 0));
+    mh.prefetchInstr(0x600000, 0);
+    EXPECT_FALSE(mh.probeL1I(0x600000, 1));        // still in flight
+    EXPECT_TRUE(mh.probeL1I(0x600000, 100000));    // fill done
+}
+
+TEST(Hierarchy, IpStridePrefetcherCutsMisses)
+{
+    auto base_params = smallHierarchy();
+    MemoryHierarchy plain(base_params);
+    auto pf_params = smallHierarchy();
+    pf_params.l1dIpStride = true;
+    MemoryHierarchy pf(pf_params);
+
+    // One load instruction striding by 64B through 4 MiB.
+    Cycle now = 0;
+    for (Addr i = 0; i < 4096; ++i) {
+        plain.access(AccessKind::Load, 0x1000000 + i * 64, 0x400100, now);
+        pf.access(AccessKind::Load, 0x1000000 + i * 64, 0x400100, now);
+        now += 300;   // far enough apart for fills to land
+    }
+    EXPECT_GT(pf.prefetchesIssued(), 1000u);
+    EXPECT_LT(pf.l1dMisses(), plain.l1dMisses() / 4);
+}
+
+TEST(Hierarchy, NextLineHelpsSequentialInstrFootprint)
+{
+    auto base_params = smallHierarchy();
+    MemoryHierarchy plain(base_params);
+    auto pf_params = smallHierarchy();
+    pf_params.l2NextLine = true;
+    MemoryHierarchy pf(pf_params);
+
+    // Loads marching sequentially through memory: next-line at L2 turns
+    // most L2 misses into L2 hits.
+    Cycle now = 0;
+    for (Addr i = 0; i < 4096; ++i) {
+        plain.access(AccessKind::Load, 0x2000000 + i * 64, 0x400200, now);
+        pf.access(AccessKind::Load, 0x2000000 + i * 64, 0x400200, now);
+        now += 300;
+    }
+    EXPECT_LT(pf.l2Misses(), plain.l2Misses() / 2);
+}
+
+TEST(Hierarchy, ReportContainsAllCounters)
+{
+    MemoryHierarchy mh(smallHierarchy());
+    mh.access(AccessKind::Load, 0x1000, 0x400000, 0);
+    StatSet stats;
+    mh.report(stats);
+    EXPECT_EQ(stats.get("l1d.accesses"), 1u);
+    EXPECT_EQ(stats.get("l1d.misses"), 1u);
+    EXPECT_EQ(stats.get("l2.misses"), 1u);
+    EXPECT_EQ(stats.get("llc.misses"), 1u);
+}
+
+TEST(IpStride, DetectsStrideAfterConfidence)
+{
+    IpStridePrefetcher pf(2);
+    std::vector<Addr> out;
+    for (int i = 0; i < 3; ++i) {
+        out.clear();
+        pf.observe(0x400100, 0x1000 + i * 256, false, out);
+    }
+    EXPECT_TRUE(out.empty());   // confidence still building
+    out.clear();
+    pf.observe(0x400100, 0x1000 + 3 * 256, false, out);
+    ASSERT_EQ(out.size(), 2u);
+    EXPECT_EQ(out[0], lineAddr(0x1000 + 4 * 256));
+    EXPECT_EQ(out[1], lineAddr(0x1000 + 5 * 256));
+}
+
+TEST(IpStride, NoPrefetchOnRandom)
+{
+    IpStridePrefetcher pf(2);
+    std::vector<Addr> out;
+    Addr addrs[] = {0x1000, 0x9000, 0x3000, 0xf000, 0x2000, 0xb000};
+    for (Addr a : addrs)
+        pf.observe(0x400100, a, false, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(NextLine, AlwaysNextLine)
+{
+    NextLinePrefetcher pf;
+    std::vector<Addr> out;
+    pf.observe(0, 0x1234, true, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], lineAddr(0x1234) + 64);
+}
+
+} // namespace
+} // namespace trb

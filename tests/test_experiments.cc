@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Integration tests: the experiment harness plumbing, and -- most
+ * importantly -- the paper's headline directional results on a reduced
+ * suite.  These are the assertions that would catch a regression that
+ * flipped the sign of an improvement.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+
+#include "experiments/experiment.hh"
+#include "synth/generator.hh"
+#include "synth/suites.hh"
+
+namespace trb
+{
+namespace
+{
+
+/** A reduced public suite: every 9th trace, short, for test runtime. */
+std::vector<TraceSpec>
+reducedSuite(std::uint64_t length)
+{
+    auto full = cvp1PublicSuite(length);
+    std::vector<TraceSpec> out;
+    for (std::size_t i = 0; i < full.size(); i += 9)
+        out.push_back(full[i]);
+    return out;
+}
+
+TEST(Harness, FigureOneSetsCoverTable1)
+{
+    const auto &sets = figureOneSets();
+    ASSERT_EQ(sets.size(), 9u);
+    EXPECT_EQ(sets[0].set, kImpMemRegs);
+    EXPECT_EQ(sets.back().set, kAllImps);
+    // The groups are the unions of their members.
+    EXPECT_EQ(kMemoryImps,
+              kImpMemRegs | kImpBaseUpdate | kImpMemFootprint);
+    EXPECT_EQ(kBranchImps, kImpCallStack | kImpBranchRegs | kImpFlagReg);
+    EXPECT_EQ(kAllImps, kMemoryImps | kBranchImps);
+    EXPECT_EQ(kIpc1Imps, kAllImps & ~kImpMemFootprint);
+}
+
+TEST(Harness, ForEachTraceHonoursScale)
+{
+    auto suite = reducedSuite(2000);
+    setenv("TRB_SUITE_SCALE", "0.5", 1);
+    std::size_t seen = 0;
+    forEachTrace(suite, [&](std::size_t i, const TraceSpec &spec,
+                            const CvpTrace &t) {
+        EXPECT_EQ(spec.name, suite[i].name);
+        EXPECT_EQ(t.size(), 2000u);
+        ++seen;
+    });
+    unsetenv("TRB_SUITE_SCALE");
+    EXPECT_EQ(seen, (suite.size() + 1) / 2);
+}
+
+TEST(Harness, DeltaSeriesMath)
+{
+    DeltaSeries s;
+    s.ratio = {1.10, 0.90, 1.02};
+    EXPECT_NEAR(s.geomeanDeltaPercent(),
+                100.0 * (std::cbrt(1.10 * 0.90 * 1.02) - 1.0), 1e-9);
+    EXPECT_EQ(s.countAbove(5.0), 2u);
+    EXPECT_EQ(s.countAbove(15.0), 0u);
+}
+
+TEST(Harness, WritebackLoadFraction)
+{
+    CvpTrace t;
+    CvpRecord wb;
+    wb.cls = InstClass::Load;
+    wb.ea = 0x1000;
+    wb.accessSize = 8;
+    wb.addSrc(0);
+    wb.addDst(0, 0x1000);   // pre-index
+    wb.addDst(1, 0xdead);
+    CvpRecord plain;
+    plain.cls = InstClass::Load;
+    plain.ea = 0x2000;
+    plain.accessSize = 8;
+    plain.addSrc(0);
+    plain.addDst(1, 0xbeef);
+    CvpRecord alu;
+    alu.cls = InstClass::Alu;
+    alu.addDst(2, 1);
+    t = {wb, plain, alu, alu};
+    EXPECT_DOUBLE_EQ(writebackLoadFraction(t), 0.25);
+}
+
+/**
+ * The paper's Figure 1 signs, on a 15-trace sub-suite.  Thresholds are
+ * loose -- the point is the direction, not the calibration.
+ */
+TEST(PaperDirections, FigureOneSigns)
+{
+    auto suite = reducedSuite(30000);
+    auto series = runImprovementSweep(suite, figureOneSets(),
+                                      modernConfig());
+    auto find = [&](const char *name) -> const DeltaSeries & {
+        for (const auto &s : series)
+            if (s.setName == name)
+                return s;
+        static DeltaSeries empty;
+        return empty;
+    };
+    // Memory improvements help or are neutral.
+    EXPECT_GT(find("base-update").geomeanDeltaPercent(), 0.5);
+    EXPECT_NEAR(find("mem-regs").geomeanDeltaPercent(), 0.0, 1.0);
+    EXPECT_NEAR(find("mem-footprint").geomeanDeltaPercent(), 0.0, 2.0);
+    // Branch dependency restoration costs IPC.
+    EXPECT_LT(find("flag-reg").geomeanDeltaPercent(), -1.0);
+    EXPECT_LT(find("branch-regs").geomeanDeltaPercent(), -0.5);
+    EXPECT_GE(find("call-stack").geomeanDeltaPercent(), 0.0);
+    // Groups follow their members.
+    EXPECT_GT(find("Memory").geomeanDeltaPercent(), 0.0);
+    EXPECT_LT(find("Branch").geomeanDeltaPercent(), -1.0);
+}
+
+TEST(PaperDirections, CallStackFixesReturnMpkiOnBlrTraces)
+{
+    // srv_3 is a BLR-X30 trace by construction.
+    auto full = cvp1PublicSuite(40000);
+    const TraceSpec *spec = nullptr;
+    for (const auto &s : full)
+        if (s.name == "srv_3")
+            spec = &s;
+    ASSERT_NE(spec, nullptr);
+    ASSERT_GT(spec->params.blrX30Frac, 0.0);
+
+    TraceGenerator gen(spec->params);
+    CvpTrace cvp = gen.generate(spec->length);
+    SimStats orig = simulateCvp(cvp, kImpNone, modernConfig());
+    SimStats fixed = simulateCvp(cvp, kImpCallStack, modernConfig());
+    EXPECT_GT(orig.returnMpki(), 5.0);
+    EXPECT_LT(fixed.returnMpki(), orig.returnMpki() / 10.0);
+    EXPECT_GT(fixed.ipc(), orig.ipc());
+}
+
+TEST(PaperDirections, BaseUpdateShrinksMpkisViaInflation)
+{
+    // The paper's Section 4.3 side effect: splitting inflates the
+    // instruction count, so per-kilo-instruction rates drop slightly.
+    auto suite = reducedSuite(30000);
+    std::size_t checked = 0;
+    forEachTrace(suite, [&](std::size_t, const TraceSpec &,
+                            const CvpTrace &cvp) {
+        Cvp2ChampSim conv(kImpBaseUpdate);
+        ChampSimTrace out = conv.convert(cvp);
+        EXPECT_GE(out.size(), cvp.size());
+        ++checked;
+    });
+    EXPECT_GT(checked, 10u);
+}
+
+} // namespace
+} // namespace trb

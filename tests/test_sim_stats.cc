@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for the SimStats reporting plumbing: derived metrics, the
+ * StatSet export and the warmup snapshot arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pipeline/sim_stats.hh"
+
+namespace trb
+{
+namespace
+{
+
+SimStats
+sample()
+{
+    SimStats s;
+    s.instructions = 10000;
+    s.cycles = 5000;
+    s.branches = 1500;
+    s.takenBranches = 900;
+    s.branchMispredicts = 60;
+    s.directionMispredicts = 40;
+    s.targetMispredicts = 20;
+    s.typeCount[static_cast<int>(BranchType::Return)] = 100;
+    s.typeTargetMispredicts[static_cast<int>(BranchType::Return)] = 5;
+    s.l1iAccesses = 3000;
+    s.l1iMisses = 90;
+    s.l1dAccesses = 2500;
+    s.l1dMisses = 250;
+    s.l2Accesses = 340;
+    s.l2Misses = 120;
+    s.llcAccesses = 120;
+    s.llcMisses = 30;
+    s.prefetchesIssued = 77;
+    return s;
+}
+
+TEST(SimStats, DerivedMetrics)
+{
+    SimStats s = sample();
+    EXPECT_DOUBLE_EQ(s.ipc(), 2.0);
+    EXPECT_DOUBLE_EQ(s.branchMpki(), 6.0);
+    EXPECT_DOUBLE_EQ(s.directionMpki(), 4.0);
+    EXPECT_DOUBLE_EQ(s.targetMpki(), 2.0);
+    EXPECT_DOUBLE_EQ(s.returnMpki(), 0.5);
+    EXPECT_DOUBLE_EQ(s.l1iMpki(), 9.0);
+    EXPECT_DOUBLE_EQ(s.l1dMpki(), 25.0);
+    EXPECT_DOUBLE_EQ(s.l2Mpki(), 12.0);
+    EXPECT_DOUBLE_EQ(s.llcMpki(), 3.0);
+
+    SimStats zero;
+    EXPECT_DOUBLE_EQ(zero.ipc(), 0.0);
+    EXPECT_DOUBLE_EQ(zero.branchMpki(), 0.0);
+}
+
+TEST(SimStats, ToStatSetRoundTrip)
+{
+    StatSet set = sample().toStatSet();
+    EXPECT_EQ(set.get("instructions"), 10000u);
+    EXPECT_EQ(set.get("cycles"), 5000u);
+    EXPECT_EQ(set.get("branches.mispredicts"), 60u);
+    EXPECT_EQ(set.get("branch.return.count"), 100u);
+    EXPECT_EQ(set.get("branch.return.target_mispredicts"), 5u);
+    EXPECT_EQ(set.get("l1d.misses"), 250u);
+    EXPECT_EQ(set.get("prefetch.issued"), 77u);
+    // The report renders every counter.
+    std::string report = set.report("sim.");
+    EXPECT_NE(report.find("sim.instructions 10000"), std::string::npos);
+    EXPECT_NE(report.find("sim.llc.misses 30"), std::string::npos);
+}
+
+TEST(SimStats, SnapshotSubtraction)
+{
+    SimStats end = sample();
+    SimStats base = sample();
+    base.instructions = 4000;
+    base.cycles = 1000;
+    base.branchMispredicts = 10;
+    base.l1dMisses = 100;
+    base.typeTargetMispredicts[static_cast<int>(BranchType::Return)] = 2;
+
+    SimStats d = end - base;
+    EXPECT_EQ(d.instructions, 6000u);
+    EXPECT_EQ(d.cycles, 4000u);
+    EXPECT_EQ(d.branchMispredicts, 50u);
+    EXPECT_EQ(d.l1dMisses, 150u);
+    EXPECT_EQ(
+        d.typeTargetMispredicts[static_cast<int>(BranchType::Return)], 3u);
+    EXPECT_DOUBLE_EQ(d.ipc(), 1.5);
+}
+
+} // namespace
+} // namespace trb

@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Tests for the synthetic workload generator.  The heart of the file is
+ * the value-consistency property suite: the improved converter infers
+ * addressing modes from output register values, so the generator must
+ * emit traces where those inferences are exactly decidable.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "synth/generator.hh"
+#include "synth/suites.hh"
+#include "trace/trace_stats.hh"
+
+namespace trb
+{
+namespace
+{
+
+WorkloadParams
+smallParams(std::uint64_t seed)
+{
+    WorkloadParams p;
+    p.seed = seed;
+    p.numFunctions = 8;
+    p.blocksPerFunction = 5;
+    p.instsPerBlock = 6;
+    return p;
+}
+
+TEST(SynthProgram, DeterministicBySeed)
+{
+    SynthProgram a = SynthProgram::build(smallParams(5));
+    SynthProgram b = SynthProgram::build(smallParams(5));
+    ASSERT_EQ(a.functions.size(), b.functions.size());
+    for (std::size_t f = 0; f < a.functions.size(); ++f) {
+        EXPECT_EQ(a.functions[f].entry, b.functions[f].entry);
+        ASSERT_EQ(a.functions[f].blocks.size(),
+                  b.functions[f].blocks.size());
+    }
+}
+
+TEST(SynthProgram, AddressesAreDisjointAndOrdered)
+{
+    SynthProgram prog = SynthProgram::build(smallParams(7));
+    Addr prev_end = 0;
+    for (const Function &fn : prog.functions) {
+        EXPECT_GE(fn.entry, prev_end);
+        for (const Block &blk : fn.blocks) {
+            Addr pc = blk.firstPc;
+            for (const StaticInst &si : blk.insts) {
+                EXPECT_EQ(si.pc, pc);
+                pc += 4 * si.pcSlots;
+            }
+            if (blk.term.kind != TermKind::FallThrough) {
+                if (blk.term.needsMat) {
+                    EXPECT_EQ(blk.term.matPc, pc);
+                    pc += 4;
+                }
+                EXPECT_EQ(blk.term.pc, pc);
+                pc += 4;
+            }
+            prev_end = pc;
+        }
+    }
+}
+
+TEST(SynthProgram, MainNeverCallable)
+{
+    // Function 0 loops forever, so nothing may call it.
+    WorkloadParams p = serverParams(3);
+    p.numFunctions = 30;
+    SynthProgram prog = SynthProgram::build(p);
+    for (const Function &fn : prog.functions) {
+        for (const Block &blk : fn.blocks) {
+            if (blk.term.kind == TermKind::CallDirect)
+                EXPECT_NE(blk.term.calleeFn, 0u);
+            if (blk.term.kind == TermKind::CallIndirect ||
+                blk.term.kind == TermKind::CallIndirectX30)
+                for (auto c : blk.term.candidates)
+                    EXPECT_NE(c, 0u);
+        }
+    }
+    EXPECT_EQ(prog.functions[0].blocks.back().term.kind, TermKind::Jump);
+    EXPECT_EQ(prog.functions[0].blocks.back().term.targetBlock, 0u);
+}
+
+TEST(Generator, ExactLengthAndDeterminism)
+{
+    TraceGenerator g1(smallParams(11));
+    TraceGenerator g2(smallParams(11));
+    CvpTrace a = g1.generate(20000);
+    CvpTrace b = g2.generate(20000);
+    ASSERT_EQ(a.size(), 20000u);
+    ASSERT_EQ(b.size(), 20000u);
+    for (std::size_t i = 0; i < a.size(); ++i)
+        ASSERT_TRUE(a[i] == b[i]) << "instruction " << i;
+}
+
+TEST(Generator, DifferentSeedsDiffer)
+{
+    CvpTrace a = TraceGenerator(smallParams(1)).generate(5000);
+    CvpTrace b = TraceGenerator(smallParams(2)).generate(5000);
+    bool differs = a.size() != b.size();
+    for (std::size_t i = 0; !differs && i < a.size(); ++i)
+        differs = !(a[i] == b[i]);
+    EXPECT_TRUE(differs);
+}
+
+/**
+ * The core invariant: every memory record whose destination list contains
+ * its own base (source) register writes either exactly the effective
+ * address (pre-index) or the effective address plus a small immediate
+ * (post-index) to it -- unless it is a pointer-chase load.
+ */
+TEST(Generator, BaseUpdateValueConsistency)
+{
+    WorkloadParams p = smallParams(13);
+    p.baseUpdateFrac = 0.5;
+    p.pointerChaseFrac = 0.0;
+    TraceGenerator gen(p);
+    CvpTrace trace = gen.generate(40000);
+
+    std::uint64_t pre = 0, post = 0;
+    for (const CvpRecord &rec : trace) {
+        if (!isMem(rec.cls))
+            continue;
+        for (unsigned d = 0; d < rec.numDst; ++d) {
+            if (!rec.readsReg(rec.dst[d]))
+                continue;
+            std::uint64_t v = rec.dstValue[d];
+            if (v == rec.ea) {
+                ++pre;
+            } else {
+                std::int64_t diff = static_cast<std::int64_t>(v - rec.ea);
+                // Post-index immediates stay small except at footprint
+                // wrap-around, which is rare.
+                if (diff >= -4096 && diff <= 4096)
+                    ++post;
+            }
+        }
+    }
+    EXPECT_GT(pre, 100u);
+    EXPECT_GT(post, 100u);
+}
+
+TEST(Generator, ReturnsAlwaysMatchCallSites)
+{
+    // The generator asserts link-register consistency internally; a
+    // successful long run over a call-heavy program is the test.
+    WorkloadParams p = serverParams(17);
+    p.numFunctions = 40;
+    p.blrX30Frac = 0.5;
+    CvpTrace trace = TraceGenerator(p).generate(60000);
+    ASSERT_EQ(trace.size(), 60000u);
+
+    // Returns jump to the instruction after some earlier call.
+    std::set<Addr> ret_sites;
+    for (const CvpRecord &rec : trace)
+        if (isBranch(rec.cls) && rec.writesReg(aarch64::kLinkReg))
+            ret_sites.insert(rec.pc + 4);
+    std::uint64_t returns = 0;
+    for (const CvpRecord &rec : trace) {
+        if (rec.cls == InstClass::UncondIndirectBranch &&
+            rec.readsReg(aarch64::kLinkReg) && rec.numDst == 0) {
+            ++returns;
+            EXPECT_TRUE(ret_sites.count(rec.target))
+                << "return to unseen site " << std::hex << rec.target;
+        }
+    }
+    EXPECT_GT(returns, 500u);
+}
+
+TEST(Generator, BlrX30TracesContainTheBugTrigger)
+{
+    WorkloadParams p = serverParams(19);
+    p.numFunctions = 40;
+    p.blrX30Frac = 0.8;
+    p.indirectCallFrac = 0.5;
+    CvpTrace trace = TraceGenerator(p).generate(50000);
+    std::uint64_t triggers = 0;
+    for (const CvpRecord &rec : trace)
+        if (isBranch(rec.cls) && rec.readsReg(aarch64::kLinkReg) &&
+            rec.writesReg(aarch64::kLinkReg))
+            ++triggers;
+    EXPECT_GT(triggers, 100u);
+
+    WorkloadParams q = serverParams(19);
+    q.numFunctions = 40;
+    q.blrX30Frac = 0.0;
+    CvpTrace clean = TraceGenerator(q).generate(50000);
+    for (const CvpRecord &rec : clean)
+        EXPECT_FALSE(isBranch(rec.cls) &&
+                     rec.readsReg(aarch64::kLinkReg) &&
+                     rec.writesReg(aarch64::kLinkReg));
+}
+
+TEST(Generator, ConditionalBranchStylesBothPresent)
+{
+    WorkloadParams p = smallParams(23);
+    p.condRegFrac = 0.5;
+    CvpTrace trace = TraceGenerator(p).generate(40000);
+    std::uint64_t with_src = 0, without_src = 0;
+    for (const CvpRecord &rec : trace) {
+        if (rec.cls != InstClass::CondBranch)
+            continue;
+        if (rec.numSrc > 0)
+            ++with_src;
+        else
+            ++without_src;
+    }
+    EXPECT_GT(with_src, 100u);
+    EXPECT_GT(without_src, 100u);
+}
+
+TEST(Generator, FlagSettingCompriesHaveNoDestination)
+{
+    WorkloadParams p = smallParams(29);
+    p.fracCmp = 0.2;
+    CvpTrace trace = TraceGenerator(p).generate(30000);
+    auto stats = characterizeCvp(trace);
+    EXPECT_GT(stats.aluNoDst, 1000u);
+}
+
+TEST(Generator, MemShapesAppear)
+{
+    WorkloadParams p = smallParams(31);
+    p.numFunctions = 24;
+    p.instsPerBlock = 10;
+    p.loadPairFrac = 0.15;
+    p.vecLoadFrac = 0.05;
+    p.prefetchFrac = 0.05;
+    p.dczvaFrac = 0.05;
+    p.unalignedFrac = 0.15;
+    CvpTrace trace = TraceGenerator(p).generate(60000);
+    auto stats = characterizeCvp(trace);
+    EXPECT_GT(stats.memNoDst, 200u);       // prefetches + plain stores
+    EXPECT_GT(stats.memMultiDst, 200u);    // pairs / wb / vector
+    EXPECT_GT(stats.lineCrossing, 50u);    // engineered split accesses
+
+    // DC ZVA stores: size 64, always aligned.
+    std::uint64_t zva = 0;
+    for (const CvpRecord &rec : trace) {
+        if (rec.cls == InstClass::Store && rec.accessSize == 64) {
+            ++zva;
+            EXPECT_EQ(rec.ea % kLineBytes, 0u);
+        }
+    }
+    EXPECT_GT(zva, 4u);
+}
+
+TEST(Generator, PointerChaseProducesDependentLoads)
+{
+    WorkloadParams p = memoryBoundParams(37);
+    CvpTrace trace = TraceGenerator(p).generate(30000);
+    std::uint64_t chase = 0;
+    for (const CvpRecord &rec : trace) {
+        if (rec.cls != InstClass::Load || rec.numDst != 1)
+            continue;
+        if (rec.numSrc == 1 && rec.src[0] == rec.dst[0]) {
+            ++chase;
+            // The loaded value is the next pointer: some later load of
+            // this register uses it as an address.  Spot-check a few.
+        }
+    }
+    EXPECT_GT(chase, 300u);
+}
+
+TEST(Generator, TraceIsClassWellFormed)
+{
+    CvpTrace trace = TraceGenerator(computeIntParams(41)).generate(30000);
+    for (const CvpRecord &rec : trace) {
+        if (isBranch(rec.cls)) {
+            EXPECT_NE(rec.target, 0u);
+            if (rec.cls != InstClass::CondBranch)
+                EXPECT_TRUE(rec.taken);
+        }
+        if (isMem(rec.cls)) {
+            EXPECT_NE(rec.ea, 0u);
+            EXPECT_GT(rec.accessSize, 0u);
+        }
+        EXPECT_LE(rec.numSrc, kMaxCvpSrc);
+        EXPECT_LE(rec.numDst, kMaxCvpDst);
+        for (unsigned i = 0; i < rec.numSrc; ++i)
+            EXPECT_LT(rec.src[i], aarch64::kNumRegs);
+        for (unsigned i = 0; i < rec.numDst; ++i)
+            EXPECT_LT(rec.dst[i], aarch64::kNumRegs);
+    }
+}
+
+TEST(Generator, TakenBranchTargetsMatchNextPc)
+{
+    // Control-flow consistency: a taken branch's target is the next
+    // record's PC; a non-branch record is followed by a higher PC in the
+    // same region or a gap (reserved helper slots).
+    CvpTrace trace = TraceGenerator(computeIntParams(43)).generate(30000);
+    for (std::size_t i = 0; i + 1 < trace.size(); ++i) {
+        const CvpRecord &rec = trace[i];
+        if (isBranch(rec.cls) && rec.taken)
+            EXPECT_EQ(trace[i + 1].pc, rec.target) << "at " << i;
+    }
+}
+
+TEST(Suites, PublicSuiteShape)
+{
+    auto suite = cvp1PublicSuite(10000);
+    EXPECT_EQ(suite.size(), 135u);
+    std::map<std::string, int> prefixes;
+    std::set<std::string> names;
+    int blr = 0;
+    for (const TraceSpec &spec : suite) {
+        EXPECT_TRUE(names.insert(spec.name).second) << spec.name;
+        EXPECT_EQ(spec.length, 10000u);
+        ++prefixes[spec.name.substr(0, spec.name.rfind('_'))];
+        if (spec.params.blrX30Frac > 0)
+            ++blr;
+    }
+    EXPECT_EQ(prefixes["compute_int"], 35);
+    EXPECT_EQ(prefixes["compute_fp"], 30);
+    EXPECT_EQ(prefixes["crypto"], 5);
+    EXPECT_EQ(prefixes["srv"], 65);
+    EXPECT_EQ(blr, 14);
+}
+
+TEST(Suites, Ipc1SuiteShape)
+{
+    auto suite = ipc1Suite(5000);
+    EXPECT_EQ(suite.size(), 50u);
+    EXPECT_EQ(suite.front().name, "client_001");
+    EXPECT_EQ(suite.back().name, "spec_x264_001");
+    std::set<std::string> names;
+    for (const TraceSpec &spec : suite)
+        EXPECT_TRUE(names.insert(spec.name).second);
+}
+
+TEST(Suites, SuiteTracesGenerate)
+{
+    // Every preset must actually generate without tripping internal
+    // invariants (link-register consistency asserts inside).
+    auto pub = cvp1PublicSuite(3000);
+    for (std::size_t i = 0; i < pub.size(); i += 13) {
+        CvpTrace t = TraceGenerator(pub[i].params).generate(3000);
+        EXPECT_EQ(t.size(), 3000u) << pub[i].name;
+    }
+    auto ipc = ipc1Suite(3000);
+    for (std::size_t i = 0; i < ipc.size(); i += 7) {
+        CvpTrace t = TraceGenerator(ipc[i].params).generate(3000);
+        EXPECT_EQ(t.size(), 3000u) << ipc[i].name;
+    }
+}
+
+} // namespace
+} // namespace trb
