@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_frontend.dir/ablation_frontend.cc.o"
+  "CMakeFiles/ablation_frontend.dir/ablation_frontend.cc.o.d"
+  "ablation_frontend"
+  "ablation_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_improvement_geomean.dir/fig1_improvement_geomean.cc.o"
+  "CMakeFiles/fig1_improvement_geomean.dir/fig1_improvement_geomean.cc.o.d"
+  "fig1_improvement_geomean"
+  "fig1_improvement_geomean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_improvement_geomean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

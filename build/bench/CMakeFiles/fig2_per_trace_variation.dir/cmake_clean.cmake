@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_per_trace_variation.dir/fig2_per_trace_variation.cc.o"
+  "CMakeFiles/fig2_per_trace_variation.dir/fig2_per_trace_variation.cc.o.d"
+  "fig2_per_trace_variation"
+  "fig2_per_trace_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_per_trace_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig2_per_trace_variation.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_branch_mpki_slowdown.dir/fig3_branch_mpki_slowdown.cc.o"
+  "CMakeFiles/fig3_branch_mpki_slowdown.dir/fig3_branch_mpki_slowdown.cc.o.d"
+  "fig3_branch_mpki_slowdown"
+  "fig3_branch_mpki_slowdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_branch_mpki_slowdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

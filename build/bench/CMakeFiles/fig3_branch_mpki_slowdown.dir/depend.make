@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_branch_mpki_slowdown.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_base_update_speedup.dir/fig4_base_update_speedup.cc.o"
+  "CMakeFiles/fig4_base_update_speedup.dir/fig4_base_update_speedup.cc.o.d"
+  "fig4_base_update_speedup"
+  "fig4_base_update_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_base_update_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

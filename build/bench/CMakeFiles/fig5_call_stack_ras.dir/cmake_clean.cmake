@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_call_stack_ras.dir/fig5_call_stack_ras.cc.o"
+  "CMakeFiles/fig5_call_stack_ras.dir/fig5_call_stack_ras.cc.o.d"
+  "fig5_call_stack_ras"
+  "fig5_call_stack_ras.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_call_stack_ras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

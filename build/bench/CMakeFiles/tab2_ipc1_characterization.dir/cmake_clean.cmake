@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_ipc1_characterization.dir/tab2_ipc1_characterization.cc.o"
+  "CMakeFiles/tab2_ipc1_characterization.dir/tab2_ipc1_characterization.cc.o.d"
+  "tab2_ipc1_characterization"
+  "tab2_ipc1_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_ipc1_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

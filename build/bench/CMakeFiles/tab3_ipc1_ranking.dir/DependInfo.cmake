@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/tab3_ipc1_ranking.cc" "bench/CMakeFiles/tab3_ipc1_ranking.dir/tab3_ipc1_ranking.cc.o" "gcc" "bench/CMakeFiles/tab3_ipc1_ranking.dir/tab3_ipc1_ranking.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/trb_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/trb_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pipeline/CMakeFiles/trb_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/ipref/CMakeFiles/trb_ipref.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/trb_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/uarch/CMakeFiles/trb_uarch.dir/DependInfo.cmake"
+  "/root/repo/build/src/convert/CMakeFiles/trb_convert.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/trb_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/trb_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/trb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

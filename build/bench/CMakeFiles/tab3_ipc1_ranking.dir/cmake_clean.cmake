@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_ipc1_ranking.dir/tab3_ipc1_ranking.cc.o"
+  "CMakeFiles/tab3_ipc1_ranking.dir/tab3_ipc1_ranking.cc.o.d"
+  "tab3_ipc1_ranking"
+  "tab3_ipc1_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_ipc1_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

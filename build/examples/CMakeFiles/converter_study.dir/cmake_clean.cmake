@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/converter_study.dir/converter_study.cpp.o"
+  "CMakeFiles/converter_study.dir/converter_study.cpp.o.d"
+  "converter_study"
+  "converter_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/converter_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

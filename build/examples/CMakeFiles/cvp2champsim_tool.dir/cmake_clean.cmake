@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cvp2champsim_tool.dir/cvp2champsim_tool.cpp.o"
+  "CMakeFiles/cvp2champsim_tool.dir/cvp2champsim_tool.cpp.o.d"
+  "cvp2champsim_tool"
+  "cvp2champsim_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cvp2champsim_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

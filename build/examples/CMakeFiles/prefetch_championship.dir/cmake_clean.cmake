@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_championship.dir/prefetch_championship.cpp.o"
+  "CMakeFiles/prefetch_championship.dir/prefetch_championship.cpp.o.d"
+  "prefetch_championship"
+  "prefetch_championship.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_championship.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for prefetch_championship.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trb_cache.dir/cache.cc.o"
+  "CMakeFiles/trb_cache.dir/cache.cc.o.d"
+  "CMakeFiles/trb_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/trb_cache.dir/hierarchy.cc.o.d"
+  "libtrb_cache.a"
+  "libtrb_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trb_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trb_common.dir/env.cc.o"
+  "CMakeFiles/trb_common.dir/env.cc.o.d"
+  "CMakeFiles/trb_common.dir/logging.cc.o"
+  "CMakeFiles/trb_common.dir/logging.cc.o.d"
+  "CMakeFiles/trb_common.dir/stats.cc.o"
+  "CMakeFiles/trb_common.dir/stats.cc.o.d"
+  "CMakeFiles/trb_common.dir/types.cc.o"
+  "CMakeFiles/trb_common.dir/types.cc.o.d"
+  "libtrb_common.a"
+  "libtrb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

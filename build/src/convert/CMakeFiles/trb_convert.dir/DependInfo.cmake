@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/convert/cvp2champsim.cc" "src/convert/CMakeFiles/trb_convert.dir/cvp2champsim.cc.o" "gcc" "src/convert/CMakeFiles/trb_convert.dir/cvp2champsim.cc.o.d"
+  "/root/repo/src/convert/improvements.cc" "src/convert/CMakeFiles/trb_convert.dir/improvements.cc.o" "gcc" "src/convert/CMakeFiles/trb_convert.dir/improvements.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/trb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/trb_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

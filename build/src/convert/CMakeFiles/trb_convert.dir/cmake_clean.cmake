@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trb_convert.dir/cvp2champsim.cc.o"
+  "CMakeFiles/trb_convert.dir/cvp2champsim.cc.o.d"
+  "CMakeFiles/trb_convert.dir/improvements.cc.o"
+  "CMakeFiles/trb_convert.dir/improvements.cc.o.d"
+  "libtrb_convert.a"
+  "libtrb_convert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trb_convert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtrb_convert.a"
+)

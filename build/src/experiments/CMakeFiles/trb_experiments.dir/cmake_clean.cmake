@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trb_experiments.dir/experiment.cc.o"
+  "CMakeFiles/trb_experiments.dir/experiment.cc.o.d"
+  "libtrb_experiments.a"
+  "libtrb_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trb_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trb_ipref.dir/instr_prefetcher.cc.o"
+  "CMakeFiles/trb_ipref.dir/instr_prefetcher.cc.o.d"
+  "libtrb_ipref.a"
+  "libtrb_ipref.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trb_ipref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trb_pipeline.dir/o3core.cc.o"
+  "CMakeFiles/trb_pipeline.dir/o3core.cc.o.d"
+  "CMakeFiles/trb_pipeline.dir/sim_stats.cc.o"
+  "CMakeFiles/trb_pipeline.dir/sim_stats.cc.o.d"
+  "libtrb_pipeline.a"
+  "libtrb_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trb_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

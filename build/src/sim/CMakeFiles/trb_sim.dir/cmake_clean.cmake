@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trb_sim.dir/simulator.cc.o"
+  "CMakeFiles/trb_sim.dir/simulator.cc.o.d"
+  "libtrb_sim.a"
+  "libtrb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/generator.cc" "src/synth/CMakeFiles/trb_synth.dir/generator.cc.o" "gcc" "src/synth/CMakeFiles/trb_synth.dir/generator.cc.o.d"
+  "/root/repo/src/synth/params.cc" "src/synth/CMakeFiles/trb_synth.dir/params.cc.o" "gcc" "src/synth/CMakeFiles/trb_synth.dir/params.cc.o.d"
+  "/root/repo/src/synth/program.cc" "src/synth/CMakeFiles/trb_synth.dir/program.cc.o" "gcc" "src/synth/CMakeFiles/trb_synth.dir/program.cc.o.d"
+  "/root/repo/src/synth/suites.cc" "src/synth/CMakeFiles/trb_synth.dir/suites.cc.o" "gcc" "src/synth/CMakeFiles/trb_synth.dir/suites.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/trb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/trb_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

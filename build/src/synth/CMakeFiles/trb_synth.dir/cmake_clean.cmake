@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trb_synth.dir/generator.cc.o"
+  "CMakeFiles/trb_synth.dir/generator.cc.o.d"
+  "CMakeFiles/trb_synth.dir/params.cc.o"
+  "CMakeFiles/trb_synth.dir/params.cc.o.d"
+  "CMakeFiles/trb_synth.dir/program.cc.o"
+  "CMakeFiles/trb_synth.dir/program.cc.o.d"
+  "CMakeFiles/trb_synth.dir/suites.cc.o"
+  "CMakeFiles/trb_synth.dir/suites.cc.o.d"
+  "libtrb_synth.a"
+  "libtrb_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trb_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

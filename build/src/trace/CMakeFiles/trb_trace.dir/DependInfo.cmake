@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/branch_deduce.cc" "src/trace/CMakeFiles/trb_trace.dir/branch_deduce.cc.o" "gcc" "src/trace/CMakeFiles/trb_trace.dir/branch_deduce.cc.o.d"
+  "/root/repo/src/trace/champsim_trace.cc" "src/trace/CMakeFiles/trb_trace.dir/champsim_trace.cc.o" "gcc" "src/trace/CMakeFiles/trb_trace.dir/champsim_trace.cc.o.d"
+  "/root/repo/src/trace/cvp_trace.cc" "src/trace/CMakeFiles/trb_trace.dir/cvp_trace.cc.o" "gcc" "src/trace/CMakeFiles/trb_trace.dir/cvp_trace.cc.o.d"
+  "/root/repo/src/trace/trace_stats.cc" "src/trace/CMakeFiles/trb_trace.dir/trace_stats.cc.o" "gcc" "src/trace/CMakeFiles/trb_trace.dir/trace_stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/trb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trb_trace.dir/branch_deduce.cc.o"
+  "CMakeFiles/trb_trace.dir/branch_deduce.cc.o.d"
+  "CMakeFiles/trb_trace.dir/champsim_trace.cc.o"
+  "CMakeFiles/trb_trace.dir/champsim_trace.cc.o.d"
+  "CMakeFiles/trb_trace.dir/cvp_trace.cc.o"
+  "CMakeFiles/trb_trace.dir/cvp_trace.cc.o.d"
+  "CMakeFiles/trb_trace.dir/trace_stats.cc.o"
+  "CMakeFiles/trb_trace.dir/trace_stats.cc.o.d"
+  "libtrb_trace.a"
+  "libtrb_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trb_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

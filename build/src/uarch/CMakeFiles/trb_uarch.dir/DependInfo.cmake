@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/uarch/btb.cc" "src/uarch/CMakeFiles/trb_uarch.dir/btb.cc.o" "gcc" "src/uarch/CMakeFiles/trb_uarch.dir/btb.cc.o.d"
+  "/root/repo/src/uarch/ittage.cc" "src/uarch/CMakeFiles/trb_uarch.dir/ittage.cc.o" "gcc" "src/uarch/CMakeFiles/trb_uarch.dir/ittage.cc.o.d"
+  "/root/repo/src/uarch/tage.cc" "src/uarch/CMakeFiles/trb_uarch.dir/tage.cc.o" "gcc" "src/uarch/CMakeFiles/trb_uarch.dir/tage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/trb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trb_uarch.dir/btb.cc.o"
+  "CMakeFiles/trb_uarch.dir/btb.cc.o.d"
+  "CMakeFiles/trb_uarch.dir/ittage.cc.o"
+  "CMakeFiles/trb_uarch.dir/ittage.cc.o.d"
+  "CMakeFiles/trb_uarch.dir/tage.cc.o"
+  "CMakeFiles/trb_uarch.dir/tage.cc.o.d"
+  "libtrb_uarch.a"
+  "libtrb_uarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trb_uarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ipref.dir/test_ipref.cc.o"
+  "CMakeFiles/test_ipref.dir/test_ipref.cc.o.d"
+  "test_ipref"
+  "test_ipref.pdb"
+  "test_ipref[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ipref.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
