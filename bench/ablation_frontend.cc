@@ -21,6 +21,7 @@
 #include "common/stats.hh"
 #include "experiments/experiment.hh"
 #include "synth/suites.hh"
+#include "obs/metrics.hh"
 
 namespace
 {
@@ -102,5 +103,7 @@ main()
                     "(misclassified conditionals cost %+.1f%%)\n",
                     b, 100.0 * (b / a - 1.0));
     }
+
+    obs::finish();
     return 0;
 }

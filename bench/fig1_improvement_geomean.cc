@@ -18,6 +18,7 @@
 #include "common/stats.hh"
 #include "experiments/experiment.hh"
 #include "synth/suites.hh"
+#include "obs/metrics.hh"
 
 int
 main()
@@ -46,5 +47,7 @@ main()
     for (const SimStats &b : baseline)
         ipcs.push_back(b.ipc());
     std::printf("\nbaseline geomean IPC %.3f\n", geomean(ipcs));
+
+    obs::finish();
     return 0;
 }

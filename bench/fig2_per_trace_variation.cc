@@ -12,6 +12,7 @@
 #include "common/env.hh"
 #include "experiments/experiment.hh"
 #include "synth/suites.hh"
+#include "obs/metrics.hh"
 
 int
 main()
@@ -43,5 +44,7 @@ main()
             std::printf(" %+12.2f%%", sorted[k][i]);
         std::printf("\n");
     }
+
+    obs::finish();
     return 0;
 }

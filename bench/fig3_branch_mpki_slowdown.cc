@@ -13,6 +13,7 @@
 #include "common/env.hh"
 #include "experiments/experiment.hh"
 #include "synth/suites.hh"
+#include "obs/metrics.hh"
 
 int
 main()
@@ -66,5 +67,7 @@ main()
                     "highest-MPKI quartile: %+0.2f%%\n",
                     slow_lo / q, slow_hi / q);
     }
+
+    obs::finish();
     return 0;
 }

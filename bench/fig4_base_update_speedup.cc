@@ -13,6 +13,7 @@
 #include "common/env.hh"
 #include "experiments/experiment.hh"
 #include "synth/suites.hh"
+#include "obs/metrics.hh"
 
 int
 main()
@@ -63,5 +64,7 @@ main()
                     "highest-density quartile: %+0.2f%%\n",
                     lo / q, hi / q);
     }
+
+    obs::finish();
     return 0;
 }

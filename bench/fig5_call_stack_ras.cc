@@ -14,6 +14,7 @@
 #include "common/env.hh"
 #include "experiments/experiment.hh"
 #include "synth/suites.hh"
+#include "obs/metrics.hh"
 
 int
 main()
@@ -59,5 +60,7 @@ main()
                 "below)\n",
                 rows.size() - shown,
                 shown < rows.size() ? rows[shown].rasMpkiOrig : 0.0);
+
+    obs::finish();
     return 0;
 }

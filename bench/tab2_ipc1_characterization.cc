@@ -11,6 +11,7 @@
 #include "common/env.hh"
 #include "experiments/experiment.hh"
 #include "synth/suites.hh"
+#include "obs/metrics.hh"
 
 int
 main()
@@ -39,5 +40,7 @@ main()
             s.targetMpki(), s.l1iMpki(), s.l1dMpki(), s.l2Mpki(),
             s.llcMpki());
     });
+
+    obs::finish();
     return 0;
 }

@@ -21,6 +21,7 @@
 #include "experiments/experiment.hh"
 #include "ipref/instr_prefetcher.hh"
 #include "synth/suites.hh"
+#include "obs/metrics.hh"
 
 int
 main()
@@ -68,5 +69,7 @@ main()
             std::printf("%-6zu %-12s %.4f\n", r + 1,
                         ranking[r].second.c_str(), ranking[r].first);
     }
+
+    obs::finish();
     return 0;
 }

@@ -148,6 +148,7 @@ MemoryHierarchy::access(AccessKind kind, Addr addr, Addr ip, Cycle now)
                     res.latency += it->second - now;
                     res.l1Miss = true;
                     ++l1iMiss_;
+                    ++l1iMshrMerge_;
                     res.level = levelOf(it->second - now, params_);
                 } else {
                     inflightI_.erase(it);
@@ -175,6 +176,7 @@ MemoryHierarchy::access(AccessKind kind, Addr addr, Addr ip, Cycle now)
                 res.latency += it->second - now;
                 res.l1Miss = true;
                 ++l1dMiss_;
+                ++l1dMshrMerge_;
                 res.level = levelOf(it->second - now, params_);
             } else {
                 inflightD_.erase(it);
@@ -246,13 +248,25 @@ MemoryHierarchy::report(StatSet &stats) const
 {
     stats.set("l1i.accesses", l1iAcc_);
     stats.set("l1i.misses", l1iMiss_);
+    stats.set("l1i.mshr_merges", l1iMshrMerge_);
     stats.set("l1d.accesses", l1dAcc_);
     stats.set("l1d.misses", l1dMiss_);
+    stats.set("l1d.mshr_merges", l1dMshrMerge_);
     stats.set("l2.accesses", l2Acc_);
     stats.set("l2.misses", l2Miss_);
     stats.set("llc.accesses", llcAcc_);
     stats.set("llc.misses", llcMiss_);
     stats.set("prefetch.issued", pfIssued_);
+}
+
+void
+MemoryHierarchy::exportMetrics(obs::MetricsRegistry &reg,
+                               const std::string &prefix) const
+{
+    StatSet stats;
+    report(stats);
+    for (const auto &[name, value] : stats.entries())
+        reg.setCounter(prefix + "." + name, value);
 }
 
 } // namespace trb

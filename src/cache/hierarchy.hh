@@ -20,6 +20,7 @@
 #include "cache/prefetcher.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "obs/metrics.hh"
 
 namespace trb
 {
@@ -84,10 +85,21 @@ class MemoryHierarchy
     std::uint64_t llcAccesses() const { return llcAcc_; }
     std::uint64_t llcMisses() const { return llcMiss_; }
     std::uint64_t prefetchesIssued() const { return pfIssued_; }
+    /** Demand accesses that merged with an in-flight L1I fill. */
+    std::uint64_t l1iMshrMerges() const { return l1iMshrMerge_; }
+    /** Demand accesses that merged with an in-flight L1D fill. */
+    std::uint64_t l1dMshrMerges() const { return l1dMshrMerge_; }
     /// @}
 
     /** Dump every counter into a StatSet. */
     void report(StatSet &stats) const;
+
+    /**
+     * Register every hierarchy counter under @p prefix in a metrics
+     * registry ("<prefix>.l1i.accesses", "<prefix>.l1i.mshr_merges", ...).
+     */
+    void exportMetrics(obs::MetricsRegistry &reg,
+                       const std::string &prefix = "cache") const;
 
   private:
     /**
@@ -119,8 +131,8 @@ class MemoryHierarchy
     std::unique_ptr<DataPrefetcher> l2Prefetcher_;
     std::vector<Addr> pfScratch_;
 
-    std::uint64_t l1iAcc_ = 0, l1iMiss_ = 0;
-    std::uint64_t l1dAcc_ = 0, l1dMiss_ = 0;
+    std::uint64_t l1iAcc_ = 0, l1iMiss_ = 0, l1iMshrMerge_ = 0;
+    std::uint64_t l1dAcc_ = 0, l1dMiss_ = 0, l1dMshrMerge_ = 0;
     std::uint64_t l2Acc_ = 0, l2Miss_ = 0;
     std::uint64_t llcAcc_ = 0, llcMiss_ = 0;
     std::uint64_t pfIssued_ = 0;

@@ -1,10 +1,63 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 namespace trb
 {
+
+namespace
+{
+
+/** -1 until first read: then the parsed TRB_LOG (or an override). */
+std::atomic<int> g_log_level{-1};
+
+} // namespace
+
+LogLevel
+parseLogLevel(const char *text, LogLevel def)
+{
+    if (!text || !*text)
+        return def;
+    if (text[0] >= '0' && text[0] <= '9' && text[1] == '\0') {
+        int v = text[0] - '0';
+        return v > static_cast<int>(LogLevel::Trace) ? LogLevel::Trace
+                                                     : static_cast<LogLevel>(v);
+    }
+    if (!std::strcmp(text, "silent") || !std::strcmp(text, "none"))
+        return LogLevel::Silent;
+    if (!std::strcmp(text, "warn") || !std::strcmp(text, "warning"))
+        return LogLevel::Warn;
+    if (!std::strcmp(text, "info"))
+        return LogLevel::Info;
+    if (!std::strcmp(text, "debug"))
+        return LogLevel::Debug;
+    if (!std::strcmp(text, "trace"))
+        return LogLevel::Trace;
+    std::fprintf(stderr, "warn: TRB_LOG='%s' not recognised; using default\n",
+                 text);
+    return def;
+}
+
+LogLevel
+logLevel()
+{
+    int level = g_log_level.load(std::memory_order_relaxed);
+    if (level < 0) {
+        level = static_cast<int>(parseLogLevel(std::getenv("TRB_LOG")));
+        g_log_level.store(level, std::memory_order_relaxed);
+    }
+    return static_cast<LogLevel>(level);
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
 namespace detail
 {
 
@@ -32,6 +85,12 @@ void
 informImpl(const std::string &msg)
 {
     std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+void
+debugImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "debug: %s\n", msg.c_str());
 }
 
 } // namespace detail

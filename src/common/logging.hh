@@ -3,8 +3,10 @@
  * Minimal gem5-style logging and error-exit helpers.
  *
  * panic() is for internal invariant violations (a TraceRebase bug);
- * fatal() is for user errors (bad file, bad configuration); warn() and
- * inform() report conditions without stopping.
+ * fatal() is for user errors (bad file, bad configuration); warn(),
+ * inform() and debug() report conditions without stopping and are
+ * filtered by a runtime log level (TRB_LOG environment variable:
+ * silent|warn|info|debug|trace or 0..4, default info).
  */
 
 #ifndef TRB_COMMON_LOGGING_HH
@@ -16,6 +18,32 @@
 namespace trb
 {
 
+/** Runtime verbosity of warn/inform/debug reporting. */
+enum class LogLevel : int
+{
+    Silent = 0,   //!< nothing but panic/fatal
+    Warn = 1,     //!< trb_warn
+    Info = 2,     //!< + trb_inform (the default)
+    Debug = 3,    //!< + trb_debug
+    Trace = 4,    //!< + per-event firehose (reserved for tracers)
+};
+
+/** Active log level: TRB_LOG at first use unless overridden. */
+LogLevel logLevel();
+
+/** Override the active log level (tests, embedding tools). */
+void setLogLevel(LogLevel level);
+
+/** True if messages of @p level should be emitted. */
+inline bool
+logEnabled(LogLevel level)
+{
+    return static_cast<int>(level) <= static_cast<int>(logLevel());
+}
+
+/** Parse a TRB_LOG value; falls back to @p def on empty/unknown. */
+LogLevel parseLogLevel(const char *text, LogLevel def = LogLevel::Info);
+
 namespace detail
 {
 
@@ -25,6 +53,7 @@ namespace detail
                             const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
+void debugImpl(const std::string &msg);
 
 /** Concatenate a parameter pack into one string via ostringstream. */
 template <typename... Args>
@@ -50,11 +79,24 @@ concat(Args &&...args)
 
 /** Report a suspicious-but-survivable condition to stderr. */
 #define trb_warn(...) \
-    ::trb::detail::warnImpl(::trb::detail::concat(__VA_ARGS__))
+    do { \
+        if (::trb::logEnabled(::trb::LogLevel::Warn)) \
+            ::trb::detail::warnImpl(::trb::detail::concat(__VA_ARGS__)); \
+    } while (0)
 
 /** Report normal operating status to stderr. */
 #define trb_inform(...) \
-    ::trb::detail::informImpl(::trb::detail::concat(__VA_ARGS__))
+    do { \
+        if (::trb::logEnabled(::trb::LogLevel::Info)) \
+            ::trb::detail::informImpl(::trb::detail::concat(__VA_ARGS__)); \
+    } while (0)
+
+/** Report developer-facing detail to stderr (TRB_LOG=debug). */
+#define trb_debug(...) \
+    do { \
+        if (::trb::logEnabled(::trb::LogLevel::Debug)) \
+            ::trb::detail::debugImpl(::trb::detail::concat(__VA_ARGS__)); \
+    } while (0)
 
 /** Panic unless a simulator invariant holds. */
 #define trb_assert(cond, ...) \

@@ -81,4 +81,48 @@ StatSet::report(const std::string &prefix) const
     return os.str();
 }
 
+std::uint64_t
+Histogram::percentile(double p) const
+{
+    if (total_ == 0)
+        return 0;
+    p = std::min(std::max(p, 0.0), 100.0);
+    // Nearest rank: the smallest k with cumulative(k) >= ceil(p% * n).
+    auto rank = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(total_)));
+    rank = std::max<std::uint64_t>(rank, 1);
+    std::uint64_t cum = 0;
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        cum += counts_[b];
+        if (cum >= rank)
+            return static_cast<std::uint64_t>(b) * width_;
+    }
+    return static_cast<std::uint64_t>(counts_.size() - 1) * width_;
+}
+
+std::string
+Histogram::report(const std::string &prefix) const
+{
+    std::ostringstream os;
+    const std::size_t overflow = counts_.size() - 1;
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        if (counts_[b] == 0)
+            continue;
+        std::uint64_t lo = static_cast<std::uint64_t>(b) * width_;
+        os << prefix << "[" << lo << ", ";
+        if (b == overflow)
+            os << "inf";
+        else
+            os << lo + width_;
+        os << ") " << counts_[b] << " "
+           << fmtDouble(total_ ? 100.0 * double(counts_[b]) / double(total_)
+                               : 0.0, 1)
+           << "%\n";
+    }
+    os << prefix << "total " << total_ << " mean "
+       << fmtDouble(meanValue()) << " p50 " << percentile(50) << " p99 "
+       << percentile(99) << "\n";
+    return os.str();
+}
+
 } // namespace trb

@@ -9,8 +9,9 @@
 #define TRB_COMMON_STATS_HH
 
 #include <cstdint>
-#include <map>
+#include <deque>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace trb
@@ -35,35 +36,43 @@ std::string fmtDouble(double v, int precision = 2);
  * A bag of named scalar statistics with insertion-ordered printing.
  *
  * Simulation components register counters by name; the simulator facade
- * merges component bags into one report.
+ * merges component bags into one report.  Hot paths should obtain a
+ * counter() reference once and increment through it, bypassing the hash
+ * lookup entirely.
  */
 class StatSet
 {
   public:
+    /**
+     * Reference to a named counter, created at 0 if absent.
+     *
+     * The reference stays valid for the lifetime of the StatSet (entries
+     * live in a deque), so components can cache it and increment per
+     * cycle without re-hashing the name.
+     */
+    std::uint64_t &
+    counter(const std::string &name)
+    {
+        auto it = index_.find(name);
+        if (it == index_.end()) {
+            it = index_.emplace(name, entries_.size()).first;
+            entries_.emplace_back(name, 0);
+        }
+        return entries_[it->second].second;
+    }
+
     /** Add (or create) a named counter. */
     void
     add(const std::string &name, std::uint64_t delta = 1)
     {
-        auto it = index_.find(name);
-        if (it == index_.end()) {
-            index_.emplace(name, entries_.size());
-            entries_.emplace_back(name, delta);
-        } else {
-            entries_[it->second].second += delta;
-        }
+        counter(name) += delta;
     }
 
     /** Set a named counter to an absolute value. */
     void
     set(const std::string &name, std::uint64_t value)
     {
-        auto it = index_.find(name);
-        if (it == index_.end()) {
-            index_.emplace(name, entries_.size());
-            entries_.emplace_back(name, value);
-        } else {
-            entries_[it->second].second = value;
-        }
+        counter(name) = value;
     }
 
     /** Value of a counter; 0 if absent. */
@@ -75,7 +84,7 @@ class StatSet
     }
 
     /** All counters in insertion order. */
-    const std::vector<std::pair<std::string, std::uint64_t>> &
+    const std::deque<std::pair<std::string, std::uint64_t>> &
     entries() const
     {
         return entries_;
@@ -88,8 +97,8 @@ class StatSet
     std::string report(const std::string &prefix = "") const;
 
   private:
-    std::vector<std::pair<std::string, std::uint64_t>> entries_;
-    std::map<std::string, std::size_t> index_;
+    std::deque<std::pair<std::string, std::uint64_t>> entries_;
+    std::unordered_map<std::string, std::size_t> index_;
 };
 
 /**
@@ -120,6 +129,21 @@ class Histogram
     double meanValue() const { return total_ ? double(sum_) / total_ : 0.0; }
     const std::vector<std::uint64_t> &buckets() const { return counts_; }
     std::uint64_t bucketWidth() const { return width_; }
+
+    /**
+     * p-th percentile (0..100) by nearest rank over the buckets.
+     *
+     * Returns the lower edge of the bucket holding the p-th ranked
+     * sample (the overflow bucket reports its lower edge, i.e. the
+     * histogram range); 0 if no samples.
+     */
+    std::uint64_t percentile(double p) const;
+
+    /**
+     * Render a bucket table: one "[lo, hi) count share" row per
+     * non-empty bucket plus a summary line (total, mean, p50, p99).
+     */
+    std::string report(const std::string &prefix = "") const;
 
   private:
     std::uint64_t width_;

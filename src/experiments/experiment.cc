@@ -6,6 +6,8 @@
 
 #include "common/env.hh"
 #include "common/stats.hh"
+#include "obs/metrics.hh"
+#include "obs/profile.hh"
 #include "synth/generator.hh"
 
 namespace trb
@@ -37,10 +39,16 @@ forEachTrace(const std::vector<TraceSpec> &suite,
     std::size_t count = std::max<std::size_t>(
         1, static_cast<std::size_t>(scale * double(suite.size()) + 0.5));
     count = std::min(count, suite.size());
+    obs::SuiteProgress progress("suite", count);
     for (std::size_t i = 0; i < count; ++i) {
-        TraceGenerator gen(suite[i].params);
-        CvpTrace trace = gen.generate(suite[i].length);
+        CvpTrace trace = [&] {
+            obs::ScopeTimer timer("generate");
+            timer.setItems(suite[i].length);
+            TraceGenerator gen(suite[i].params);
+            return gen.generate(suite[i].length);
+        }();
         fn(i, suite[i], trace);
+        progress.step(i, trace.size());
     }
 }
 
@@ -70,16 +78,28 @@ runImprovementSweep(const std::vector<TraceSpec> &suite,
     for (std::size_t k = 0; k < sets.size(); ++k)
         series[k].setName = sets[k].name;
 
-    forEachTrace(suite, [&](std::size_t, const TraceSpec &,
+    obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+    forEachTrace(suite, [&](std::size_t i, const TraceSpec &,
                             const CvpTrace &cvp) {
         SimStats base = simulateCvp(cvp, kImpNone, params);
         if (baseline_out)
             baseline_out->push_back(base);
+        const std::string trace_tag = "trace" + std::to_string(i);
+        reg.setGauge("sweep.baseline." + trace_tag + ".ipc", base.ipc());
         for (std::size_t k = 0; k < sets.size(); ++k) {
+            obs::ScopeTimer set_timer(std::string("set.") + sets[k].name);
+            set_timer.setItems(cvp.size());
             SimStats s = simulateCvp(cvp, sets[k].set, params);
-            series[k].ratio.push_back(s.ipc() / base.ipc());
+            double ratio = s.ipc() / base.ipc();
+            series[k].ratio.push_back(ratio);
+            reg.setGauge("sweep." + series[k].setName + "." + trace_tag +
+                             ".ipc_ratio",
+                         ratio);
         }
     });
+    for (const DeltaSeries &s : series)
+        reg.setGauge("sweep." + s.setName + ".geomean_delta_percent",
+                     s.geomeanDeltaPercent());
     return series;
 }
 

@@ -1,0 +1,239 @@
+#include "obs/metrics.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "obs/profile.hh"
+
+namespace trb
+{
+namespace obs
+{
+
+std::uint64_t &
+MetricsRegistry::counter(const std::string &path)
+{
+    auto it = counterIndex_.find(path);
+    if (it == counterIndex_.end()) {
+        it = counterIndex_.emplace(path, counters_.size()).first;
+        counters_.push_back({path, 0});
+    }
+    return counters_[it->second].value;
+}
+
+double &
+MetricsRegistry::gauge(const std::string &path)
+{
+    auto it = gaugeIndex_.find(path);
+    if (it == gaugeIndex_.end()) {
+        it = gaugeIndex_.emplace(path, gauges_.size()).first;
+        gauges_.push_back({path, 0.0});
+    }
+    return gauges_[it->second].value;
+}
+
+Histogram &
+MetricsRegistry::histogram(const std::string &path,
+                           std::uint64_t bucket_width,
+                           std::size_t num_buckets)
+{
+    auto it = histogramIndex_.find(path);
+    if (it == histogramIndex_.end()) {
+        it = histogramIndex_.emplace(path, histograms_.size()).first;
+        histograms_.push_back({path, Histogram(bucket_width, num_buckets)});
+    }
+    return histograms_[it->second].hist;
+}
+
+std::uint64_t
+MetricsRegistry::counterValue(const std::string &path) const
+{
+    auto it = counterIndex_.find(path);
+    return it == counterIndex_.end() ? 0 : counters_[it->second].value;
+}
+
+double
+MetricsRegistry::gaugeValue(const std::string &path) const
+{
+    auto it = gaugeIndex_.find(path);
+    return it == gaugeIndex_.end() ? 0.0 : gauges_[it->second].value;
+}
+
+void
+MetricsRegistry::clear()
+{
+    counters_.clear();
+    gauges_.clear();
+    histograms_.clear();
+    counterIndex_.clear();
+    gaugeIndex_.clear();
+    histogramIndex_.clear();
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out.push_back('"');
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    out.push_back('"');
+    return out;
+}
+
+namespace
+{
+
+/** Shortest decimal that round-trips a double. */
+std::string
+jsonDouble(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+void
+MetricsRegistry::writeJson(std::ostream &os) const
+{
+    os << "{\n  \"counters\": {";
+    const char *sep = "";
+    for (const CounterEntry &c : counters_) {
+        os << sep << "\n    " << jsonQuote(c.path) << ": " << c.value;
+        sep = ",";
+    }
+    os << (counters_.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+    sep = "";
+    for (const GaugeEntry &g : gauges_) {
+        os << sep << "\n    " << jsonQuote(g.path) << ": "
+           << jsonDouble(g.value);
+        sep = ",";
+    }
+    os << (gauges_.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+    sep = "";
+    for (const HistogramEntry &h : histograms_) {
+        os << sep << "\n    " << jsonQuote(h.path) << ": {"
+           << "\"bucket_width\": " << h.hist.bucketWidth()
+           << ", \"total\": " << h.hist.total()
+           << ", \"mean\": " << jsonDouble(h.hist.meanValue())
+           << ", \"p50\": " << h.hist.percentile(50)
+           << ", \"p99\": " << h.hist.percentile(99) << ", \"buckets\": [";
+        const char *bsep = "";
+        for (std::uint64_t b : h.hist.buckets()) {
+            os << bsep << b;
+            bsep = ", ";
+        }
+        os << "]}";
+        sep = ",";
+    }
+    os << (histograms_.empty() ? "" : "\n  ") << "}\n}\n";
+}
+
+void
+MetricsRegistry::writeCsv(std::ostream &os) const
+{
+    os << "kind,path,value\n";
+    for (const CounterEntry &c : counters_)
+        os << "counter," << c.path << "," << c.value << "\n";
+    for (const GaugeEntry &g : gauges_)
+        os << "gauge," << g.path << "," << jsonDouble(g.value) << "\n";
+    for (const HistogramEntry &h : histograms_) {
+        os << "histogram," << h.path << ".total," << h.hist.total() << "\n";
+        os << "histogram," << h.path << ".mean,"
+           << jsonDouble(h.hist.meanValue()) << "\n";
+        os << "histogram," << h.path << ".p50," << h.hist.percentile(50)
+           << "\n";
+        os << "histogram," << h.path << ".p99," << h.hist.percentile(99)
+           << "\n";
+    }
+}
+
+std::string
+MetricsRegistry::toJson() const
+{
+    std::ostringstream os;
+    writeJson(os);
+    return os.str();
+}
+
+std::string
+MetricsRegistry::toCsv() const
+{
+    std::ostringstream os;
+    writeCsv(os);
+    return os.str();
+}
+
+MetricsRegistry &
+MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+namespace
+{
+
+bool
+writeFile(const char *env, const std::string &text, const char *what)
+{
+    const char *path = std::getenv(env);
+    if (!path || !*path)
+        return false;
+    std::ofstream out(path);
+    if (!out) {
+        trb_warn("obs: cannot open ", path, " for ", what, " dump");
+        return false;
+    }
+    out << text;
+    trb_inform("obs: wrote ", what, " metrics to ", path);
+    return true;
+}
+
+} // namespace
+
+bool
+dumpIfRequested()
+{
+    const MetricsRegistry &reg = MetricsRegistry::global();
+    bool wrote = writeFile("TRB_OBS_JSON", reg.toJson(), "JSON");
+    wrote |= writeFile("TRB_OBS_CSV", reg.toCsv(), "CSV");
+    return wrote;
+}
+
+bool
+finish()
+{
+    PhaseProfile &phases = PhaseProfile::global();
+    if (!phases.entries().empty()) {
+        phases.exportTo(MetricsRegistry::global(), "phase");
+        if (logEnabled(LogLevel::Info))
+            trb_inform("phase profile:\n", phases.report("  "));
+    }
+    return dumpIfRequested();
+}
+
+} // namespace obs
+} // namespace trb

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Metrics registry: hierarchical counters, gauges and histograms
+ * registered by component path ("core.rob.full_stalls",
+ * "cache.l1i.mshr_merges"), with JSON and CSV exporters so every bench
+ * binary can dump machine-readable results next to its human tables.
+ *
+ * Paths are dotted strings; the registry keeps insertion order so the
+ * exported files read top-down the way components registered them.
+ * Counter and gauge accessors return references that stay valid for the
+ * registry's lifetime, so hot paths look a metric up once and increment
+ * through the reference.
+ *
+ * TRB_OBS_JSON=<path> / TRB_OBS_CSV=<path> make obs::finish() (called by
+ * the bench mains) write the global registry out at process end.
+ */
+
+#ifndef TRB_OBS_METRICS_HH
+#define TRB_OBS_METRICS_HH
+
+#include <cstdint>
+#include <deque>
+#include <iosfwd>
+#include <string>
+#include <unordered_map>
+
+#include "common/stats.hh"
+
+namespace trb
+{
+namespace obs
+{
+
+/** Hierarchical registry of counters, gauges and histograms. */
+class MetricsRegistry
+{
+  public:
+    /** A named uint64 counter entry. */
+    struct CounterEntry
+    {
+        std::string path;
+        std::uint64_t value = 0;
+    };
+
+    /** A named double gauge entry (ratios, rates, seconds). */
+    struct GaugeEntry
+    {
+        std::string path;
+        double value = 0.0;
+    };
+
+    /** A named histogram entry. */
+    struct HistogramEntry
+    {
+        std::string path;
+        Histogram hist;
+    };
+
+    /** Reference to the counter at @p path, created at 0 if absent. */
+    std::uint64_t &counter(const std::string &path);
+
+    /** Reference to the gauge at @p path, created at 0.0 if absent. */
+    double &gauge(const std::string &path);
+
+    /**
+     * Reference to the histogram at @p path; created with the given
+     * shape if absent (the shape of an existing histogram wins).
+     */
+    Histogram &histogram(const std::string &path,
+                         std::uint64_t bucket_width = 1,
+                         std::size_t num_buckets = 32);
+
+    /** Set-style conveniences for one-shot exports. */
+    void setCounter(const std::string &path, std::uint64_t v)
+    {
+        counter(path) = v;
+    }
+    void setGauge(const std::string &path, double v) { gauge(path) = v; }
+
+    /** Value of a counter; 0 if absent (does not create). */
+    std::uint64_t counterValue(const std::string &path) const;
+
+    /** Value of a gauge; 0.0 if absent (does not create). */
+    double gaugeValue(const std::string &path) const;
+
+    const std::deque<CounterEntry> &counters() const { return counters_; }
+    const std::deque<GaugeEntry> &gauges() const { return gauges_; }
+    const std::deque<HistogramEntry> &histograms() const
+    {
+        return histograms_;
+    }
+
+    bool
+    empty() const
+    {
+        return counters_.empty() && gauges_.empty() && histograms_.empty();
+    }
+
+    /** Drop every metric (tests; fresh runs in one process). */
+    void clear();
+
+    /**
+     * Write the registry as one JSON object:
+     * {"counters": {path: value, ...}, "gauges": {...},
+     *  "histograms": {path: {bucket_width, total, mean, p50, p99,
+     *                        buckets: [...]}, ...}}
+     */
+    void writeJson(std::ostream &os) const;
+
+    /** Write "kind,path,value" CSV rows (histograms flattened). */
+    void writeCsv(std::ostream &os) const;
+
+    std::string toJson() const;
+    std::string toCsv() const;
+
+    /** The process-wide registry the simulator components feed. */
+    static MetricsRegistry &global();
+
+  private:
+    std::deque<CounterEntry> counters_;
+    std::deque<GaugeEntry> gauges_;
+    std::deque<HistogramEntry> histograms_;
+    std::unordered_map<std::string, std::size_t> counterIndex_;
+    std::unordered_map<std::string, std::size_t> gaugeIndex_;
+    std::unordered_map<std::string, std::size_t> histogramIndex_;
+};
+
+/** Escape a string for embedding in a JSON document (adds quotes). */
+std::string jsonQuote(const std::string &s);
+
+/**
+ * Export accumulated phase wall-times into the global registry, log the
+ * phase report (at info level) and honour TRB_OBS_JSON / TRB_OBS_CSV.
+ * Every bench main calls this once before exiting.
+ * @return true if at least one file was written.
+ */
+bool finish();
+
+/** Just the env-gated dump half of finish(). */
+bool dumpIfRequested();
+
+} // namespace obs
+} // namespace trb
+
+#endif // TRB_OBS_METRICS_HH

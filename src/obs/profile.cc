@@ -1,0 +1,119 @@
+#include "obs/profile.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+#include "obs/metrics.hh"
+
+namespace trb
+{
+namespace obs
+{
+
+void
+PhaseProfile::add(const std::string &phase, double seconds,
+                  std::uint64_t items)
+{
+    auto it = index_.find(phase);
+    if (it == index_.end()) {
+        it = index_.emplace(phase, entries_.size()).first;
+        entries_.push_back({phase, 0.0, 0, 0});
+    }
+    Entry &e = entries_[it->second];
+    e.seconds += seconds;
+    ++e.calls;
+    e.items += items;
+}
+
+double
+PhaseProfile::seconds(const std::string &phase) const
+{
+    auto it = index_.find(phase);
+    return it == index_.end() ? 0.0 : entries_[it->second].seconds;
+}
+
+void
+PhaseProfile::clear()
+{
+    entries_.clear();
+    index_.clear();
+}
+
+std::string
+PhaseProfile::report(const std::string &prefix) const
+{
+    double total = 0.0;
+    for (const Entry &e : entries_)
+        total += e.seconds;
+
+    std::ostringstream os;
+    for (const Entry &e : entries_) {
+        os << prefix << e.name << " " << fmtDouble(e.seconds, 3) << "s ("
+           << fmtDouble(total > 0.0 ? 100.0 * e.seconds / total : 0.0, 1)
+           << "%) " << e.calls << " calls";
+        if (e.items)
+            os << " " << fmtDouble(e.itemsPerSecond() / 1e6, 2)
+               << " Mitems/s";
+        os << "\n";
+    }
+    return os.str();
+}
+
+void
+PhaseProfile::exportTo(MetricsRegistry &reg, const std::string &prefix) const
+{
+    for (const Entry &e : entries_) {
+        const std::string base = prefix + "." + e.name;
+        reg.setGauge(base + ".seconds", e.seconds);
+        reg.setCounter(base + ".calls", e.calls);
+        if (e.items) {
+            reg.setCounter(base + ".items", e.items);
+            reg.setGauge(base + ".items_per_second", e.itemsPerSecond());
+        }
+    }
+}
+
+PhaseProfile &
+PhaseProfile::global()
+{
+    static PhaseProfile profile;
+    return profile;
+}
+
+SuiteProgress::SuiteProgress(std::string what, std::size_t total)
+    : what_(std::move(what)), total_(total),
+      start_(std::chrono::steady_clock::now())
+{
+}
+
+void
+SuiteProgress::step(std::size_t index, std::uint64_t items)
+{
+    ++done_;
+    items_ += items;
+    if (logEnabled(LogLevel::Debug)) {
+        double secs = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+        trb_debug(what_, ": ", index + 1, "/", total_, " done in ",
+                  fmtDouble(secs, 2), "s");
+    }
+}
+
+SuiteProgress::~SuiteProgress()
+{
+    double secs = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - start_)
+                      .count();
+    std::ostringstream os;
+    os << what_ << ": " << done_ << "/" << total_ << " traces in "
+       << fmtDouble(secs, 2) << "s";
+    if (items_ && secs > 0.0)
+        os << " (" << fmtDouble(double(items_) / secs / 1e6, 2)
+           << " Minstr/s)";
+    trb_inform(os.str());
+}
+
+} // namespace obs
+} // namespace trb

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Phase profiling: RAII wall-clock scope timers accumulating into named
+ * phases ("generate", "convert", "simulate", "set.All") plus a suite
+ * progress reporter, so every experiment can answer "which stage of the
+ * run dominates?" and report instructions/second per stage.
+ *
+ * The experiment harness times its stages automatically; bench binaries
+ * surface the accumulated table via obs::finish().  Profiling costs two
+ * steady_clock reads per scope, negligible against the thousands of
+ * simulated instructions each scope covers.
+ */
+
+#ifndef TRB_OBS_PROFILE_HH
+#define TRB_OBS_PROFILE_HH
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <unordered_map>
+
+namespace trb
+{
+namespace obs
+{
+
+class MetricsRegistry;
+
+/** Accumulated wall-time (and item throughput) per named phase. */
+class PhaseProfile
+{
+  public:
+    struct Entry
+    {
+        std::string name;
+        double seconds = 0.0;
+        std::uint64_t calls = 0;
+        std::uint64_t items = 0;   //!< e.g. instructions processed
+
+        double
+        itemsPerSecond() const
+        {
+            return seconds > 0.0 ? static_cast<double>(items) / seconds : 0.0;
+        }
+    };
+
+    /** Fold one timed scope into @p phase. */
+    void add(const std::string &phase, double seconds,
+             std::uint64_t items = 0);
+
+    /** All phases in first-seen order. */
+    const std::deque<Entry> &entries() const { return entries_; }
+
+    /** Accumulated seconds of a phase; 0 if absent. */
+    double seconds(const std::string &phase) const;
+
+    void clear();
+
+    /**
+     * Render a table: phase, wall seconds, share of the total, calls,
+     * and items/second where items were recorded.
+     */
+    std::string report(const std::string &prefix = "") const;
+
+    /**
+     * Export as gauges/counters under @p prefix:
+     * <prefix>.<phase>.seconds, .calls, .items, .items_per_second.
+     */
+    void exportTo(MetricsRegistry &reg, const std::string &prefix) const;
+
+    /** The process-wide profile the harness and benches share. */
+    static PhaseProfile &global();
+
+  private:
+    std::deque<Entry> entries_;
+    std::unordered_map<std::string, std::size_t> index_;
+};
+
+/**
+ * RAII wall-clock timer: accumulates its lifetime into a phase of the
+ * global (or a given) PhaseProfile on destruction.
+ */
+class ScopeTimer
+{
+  public:
+    explicit ScopeTimer(std::string phase)
+        : ScopeTimer(PhaseProfile::global(), std::move(phase))
+    {}
+
+    ScopeTimer(PhaseProfile &profile, std::string phase)
+        : profile_(profile), phase_(std::move(phase)),
+          start_(std::chrono::steady_clock::now())
+    {}
+
+    ScopeTimer(const ScopeTimer &) = delete;
+    ScopeTimer &operator=(const ScopeTimer &) = delete;
+
+    /** Attach an item count (e.g. instructions) for throughput. */
+    void setItems(std::uint64_t items) { items_ = items; }
+    void addItems(std::uint64_t items) { items_ += items; }
+
+    /** Seconds elapsed so far. */
+    double
+    elapsed() const
+    {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+    ~ScopeTimer() { profile_.add(phase_, elapsed(), items_); }
+
+  private:
+    PhaseProfile &profile_;
+    std::string phase_;
+    std::chrono::steady_clock::time_point start_;
+    std::uint64_t items_ = 0;
+};
+
+/**
+ * Suite progress reporter: logs per-trace progress at debug level and an
+ * end-of-suite wall-time / instructions-per-second summary at info level.
+ */
+class SuiteProgress
+{
+  public:
+    SuiteProgress(std::string what, std::size_t total);
+    ~SuiteProgress();
+
+    SuiteProgress(const SuiteProgress &) = delete;
+    SuiteProgress &operator=(const SuiteProgress &) = delete;
+
+    /** One unit of work done (0-based @p index), @p items processed. */
+    void step(std::size_t index, std::uint64_t items = 0);
+
+  private:
+    std::string what_;
+    std::size_t total_;
+    std::size_t done_ = 0;
+    std::uint64_t items_ = 0;
+    std::chrono::steady_clock::time_point start_;
+};
+
+} // namespace obs
+} // namespace trb
+
+#endif // TRB_OBS_PROFILE_HH

@@ -83,6 +83,8 @@ O3Core::snapshot() const
     s.llcAccesses = mem_.llcAccesses();
     s.llcMisses = mem_.llcMisses();
     s.prefetchesIssued = mem_.prefetchesIssued();
+    s.l1iMshrMerges = mem_.l1iMshrMerges();
+    s.l1dMshrMerges = mem_.l1dMshrMerges();
     return s;
 }
 
@@ -215,7 +217,11 @@ O3Core::run(const ChampSimTrace &trace, std::uint64_t warmup)
 
         // ---- Dispatch: front-end depth and ROB occupancy. ----
         Cycle dispatch = f + params_.frontendDepth;
-        dispatch = std::max(dispatch, rob_retire[i % params_.robSize]);
+        Cycle rob_slot_free = rob_retire[i % params_.robSize];
+        if (rob_slot_free > dispatch) {
+            dispatch = rob_slot_free;
+            ++raw_.robFullStalls;
+        }
 
         // ---- Register readiness and issue. ----
         Cycle ready = dispatch + 1;
@@ -245,8 +251,11 @@ O3Core::run(const ChampSimTrace &trace, std::uint64_t warmup)
                 reg_ready[r] = complete;
 
         // ---- Branch resolution and redirects. ----
+        BranchType br_type = BranchType::NotBranch;
+        obs::SquashCause squash = obs::SquashCause::None;
         if (rec.isBranch) {
             BranchType type = deduceBranchType(rec, params_.rules);
+            br_type = type;
             bool taken = rec.branchTaken != 0;
             Addr actual_target =
                 (taken && i + 1 < trace.size()) ? trace[i + 1].ip : 0;
@@ -265,6 +274,9 @@ O3Core::run(const ChampSimTrace &trace, std::uint64_t warmup)
                 ++raw_.typeTargetMispredicts[static_cast<int>(type)];
             }
             if (out.directionMisp || out.targetMisp) {
+                squash = out.directionMisp
+                             ? obs::SquashCause::DirectionMispredict
+                             : obs::SquashCause::TargetMispredict;
                 ++raw_.branchMispredicts;
                 ++raw_.typeMispredicts[static_cast<int>(type)];
                 Cycle redirect =
@@ -298,6 +310,22 @@ O3Core::run(const ChampSimTrace &trace, std::uint64_t warmup)
             for (Addr a : rec.destMem)
                 if (a != 0)
                     mem_.access(AccessKind::Store, a, rec.ip, retire);
+
+        if (tracer_) {
+            obs::InstrEvent ev;
+            ev.seq = i;
+            ev.ip = rec.ip;
+            ev.fetch = f;
+            ev.dispatch = dispatch;
+            ev.issue = issue;
+            ev.complete = complete;
+            ev.retire = retire;
+            ev.branch = br_type;
+            ev.squash = squash;
+            ev.isLoad = rec.isLoad();
+            ev.isStore = rec.isStore();
+            tracer_->record(ev);
+        }
 
         ++raw_.instructions;
         raw_.cycles = last_retire;

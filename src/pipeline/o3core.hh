@@ -34,6 +34,7 @@
 
 #include "cache/hierarchy.hh"
 #include "ipref/instr_prefetcher.hh"
+#include "obs/pipeline_trace.hh"
 #include "pipeline/core_params.hh"
 #include "pipeline/sim_stats.hh"
 #include "trace/branch_deduce.hh"
@@ -64,6 +65,16 @@ class O3Core
      * @return measurement-phase statistics
      */
     SimStats run(const ChampSimTrace &trace, std::uint64_t warmup = 0);
+
+    /**
+     * Attach (or detach with nullptr) a pipeline event tracer: every
+     * retired instruction's lifecycle stamps are recorded into it.  The
+     * core only pays a pointer test per instruction when detached.
+     */
+    void setTracer(obs::PipelineTracer *tracer) { tracer_ = tracer; }
+
+    /** The memory hierarchy (for metrics export and inspection). */
+    const MemoryHierarchy &memory() const { return mem_; }
 
   private:
     /** Port the instruction prefetcher issues fills through. */
@@ -110,6 +121,7 @@ class O3Core
     Btb btb_;
     Ras ras_;
     InstrPrefetcher *ipref_;
+    obs::PipelineTracer *tracer_ = nullptr;
 
     // Raw cumulative counters (snapshotted at the warmup boundary).
     SimStats raw_;

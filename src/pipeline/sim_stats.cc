@@ -23,14 +23,46 @@ SimStats::toStatSet() const
     }
     s.set("l1i.accesses", l1iAccesses);
     s.set("l1i.misses", l1iMisses);
+    s.set("l1i.mshr_merges", l1iMshrMerges);
     s.set("l1d.accesses", l1dAccesses);
     s.set("l1d.misses", l1dMisses);
+    s.set("l1d.mshr_merges", l1dMshrMerges);
     s.set("l2.accesses", l2Accesses);
     s.set("l2.misses", l2Misses);
     s.set("llc.accesses", llcAccesses);
     s.set("llc.misses", llcMisses);
     s.set("prefetch.issued", prefetchesIssued);
+    s.set("rob.full_stalls", robFullStalls);
     return s;
+}
+
+void
+SimStats::exportTo(obs::MetricsRegistry &reg, const std::string &prefix) const
+{
+    reg.setCounter(prefix + ".instructions", instructions);
+    reg.setCounter(prefix + ".cycles", cycles);
+    reg.setCounter(prefix + ".core.rob.full_stalls", robFullStalls);
+    reg.setCounter(prefix + ".branch.mispredicts", branchMispredicts);
+    reg.setCounter(prefix + ".branch.direction_mispredicts",
+                   directionMispredicts);
+    reg.setCounter(prefix + ".branch.target_mispredicts", targetMispredicts);
+    reg.setCounter(prefix + ".cache.l1i.accesses", l1iAccesses);
+    reg.setCounter(prefix + ".cache.l1i.misses", l1iMisses);
+    reg.setCounter(prefix + ".cache.l1i.mshr_merges", l1iMshrMerges);
+    reg.setCounter(prefix + ".cache.l1d.accesses", l1dAccesses);
+    reg.setCounter(prefix + ".cache.l1d.misses", l1dMisses);
+    reg.setCounter(prefix + ".cache.l1d.mshr_merges", l1dMshrMerges);
+    reg.setCounter(prefix + ".cache.l2.accesses", l2Accesses);
+    reg.setCounter(prefix + ".cache.l2.misses", l2Misses);
+    reg.setCounter(prefix + ".cache.llc.accesses", llcAccesses);
+    reg.setCounter(prefix + ".cache.llc.misses", llcMisses);
+    reg.setCounter(prefix + ".cache.prefetch.issued", prefetchesIssued);
+    reg.setGauge(prefix + ".ipc", ipc());
+    reg.setGauge(prefix + ".branch.mpki", branchMpki());
+    reg.setGauge(prefix + ".cache.l1i.mpki", l1iMpki());
+    reg.setGauge(prefix + ".cache.l1d.mpki", l1dMpki());
+    reg.setGauge(prefix + ".cache.l2.mpki", l2Mpki());
+    reg.setGauge(prefix + ".cache.llc.mpki", llcMpki());
 }
 
 SimStats
@@ -51,13 +83,16 @@ SimStats::operator-(const SimStats &base) const
     }
     d.l1iAccesses -= base.l1iAccesses;
     d.l1iMisses -= base.l1iMisses;
+    d.l1iMshrMerges -= base.l1iMshrMerges;
     d.l1dAccesses -= base.l1dAccesses;
     d.l1dMisses -= base.l1dMisses;
+    d.l1dMshrMerges -= base.l1dMshrMerges;
     d.l2Accesses -= base.l2Accesses;
     d.l2Misses -= base.l2Misses;
     d.llcAccesses -= base.llcAccesses;
     d.llcMisses -= base.llcMisses;
     d.prefetchesIssued -= base.prefetchesIssued;
+    d.robFullStalls -= base.robFullStalls;
     return d;
 }
 

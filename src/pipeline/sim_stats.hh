@@ -15,6 +15,7 @@
 
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "obs/metrics.hh"
 
 namespace trb
 {
@@ -41,6 +42,10 @@ struct SimStats
     std::uint64_t l2Accesses = 0, l2Misses = 0;
     std::uint64_t llcAccesses = 0, llcMisses = 0;
     std::uint64_t prefetchesIssued = 0;
+    std::uint64_t l1iMshrMerges = 0, l1dMshrMerges = 0;
+
+    /** Dispatches delayed because the ROB slot was still occupied. */
+    std::uint64_t robFullStalls = 0;
 
     double
     ipc() const
@@ -71,6 +76,14 @@ struct SimStats
 
     /** All counters as a StatSet (for reports). */
     StatSet toStatSet() const;
+
+    /**
+     * Register every counter (and the derived IPC/MPKI gauges) under
+     * @p prefix in a metrics registry, e.g. "<prefix>.core.rob.full_stalls",
+     * "<prefix>.cache.l1i.mshr_merges", "<prefix>.ipc".
+     */
+    void exportTo(obs::MetricsRegistry &reg,
+                  const std::string &prefix) const;
 
     /** Phase arithmetic: measurement = end snapshot - start snapshot. */
     SimStats operator-(const SimStats &base) const;

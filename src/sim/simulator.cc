@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/profile.hh"
+
 namespace trb
 {
 
@@ -37,6 +39,8 @@ SimStats
 simulateChampSim(const ChampSimTrace &trace, const CoreParams &params,
                  double warmupFraction, InstrPrefetcher *ipref)
 {
+    obs::ScopeTimer timer("simulate");
+    timer.setItems(trace.size());
     O3Core core(params, ipref);
     auto warmup = static_cast<std::uint64_t>(
         warmupFraction * static_cast<double>(trace.size()));
@@ -49,7 +53,11 @@ simulateCvp(const CvpTrace &cvp, ImprovementSet imps,
             InstrPrefetcher *ipref)
 {
     Cvp2ChampSim conv(imps);
-    ChampSimTrace trace = conv.convert(cvp);
+    ChampSimTrace trace = [&] {
+        obs::ScopeTimer timer("convert");
+        timer.setItems(cvp.size());
+        return conv.convert(cvp);
+    }();
     return simulateChampSim(trace, params, warmupFraction, ipref);
 }
 

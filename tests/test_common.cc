@@ -166,6 +166,21 @@ TEST(Stats, StatSetAccumulatesAndMerges)
     EXPECT_NE(rep.find("pre.x 7"), std::string::npos);
 }
 
+TEST(Stats, StatSetCounterHandleStaysValid)
+{
+    // Hot paths cache the counter() reference; it must survive the set
+    // growing by thousands of later registrations (deque-backed storage).
+    StatSet s;
+    std::uint64_t &hot = s.counter("hot.path");
+    for (int i = 0; i < 4000; ++i)
+        s.add("other." + std::to_string(i));
+    hot += 42;
+    ++hot;
+    EXPECT_EQ(s.get("hot.path"), 43u);
+    // Insertion order preserved: the cached counter registered first.
+    EXPECT_EQ(s.entries().front().first, "hot.path");
+}
+
 TEST(Stats, HistogramBuckets)
 {
     Histogram h(10, 4);

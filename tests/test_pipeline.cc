@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hh"
+#include "obs/pipeline_trace.hh"
 #include "pipeline/o3core.hh"
 #include "sim/simulator.hh"
 #include "synth/generator.hh"
@@ -357,6 +358,47 @@ TEST(O3Core, StoresCountInDataCacheStats)
     SimStats s = core.run(t);
     EXPECT_EQ(s.l1dAccesses, 1000u);
     EXPECT_GT(s.l1dMisses, 900u);
+}
+
+TEST(O3Core, TracedStampsAreOrderedAndRetireMonotonic)
+{
+    // A realistic mix (branches, loads, misses) through the tracer: every
+    // instruction's stamps must respect pipeline order, and retirement is
+    // in-order, so retire stamps never go backwards across the sequence.
+    TraceGenerator gen(serverParams(17));
+    CvpTrace cvp = gen.generate(8000);
+    Cvp2ChampSim conv(kAllImps);
+    ChampSimTrace trace = conv.convert(cvp);
+
+    obs::PipelineTracer tracer(trace.size());
+    O3Core core(modernConfig());
+    core.setTracer(&tracer);
+    core.run(trace);
+
+    ASSERT_EQ(tracer.recorded(), trace.size());
+    auto events = tracer.events();
+    ASSERT_EQ(events.size(), trace.size());
+
+    Cycle last_retire = 0;
+    for (const obs::InstrEvent &ev : events) {
+        EXPECT_LE(ev.fetch, ev.dispatch) << "seq " << ev.seq;
+        EXPECT_LE(ev.dispatch, ev.issue) << "seq " << ev.seq;
+        EXPECT_LE(ev.issue, ev.complete) << "seq " << ev.seq;
+        EXPECT_LE(ev.complete, ev.retire) << "seq " << ev.seq;
+        EXPECT_GE(ev.retire, last_retire)
+            << "retire went backwards at seq " << ev.seq;
+        last_retire = ev.retire;
+    }
+}
+
+TEST(O3Core, TinyRobCountsFullStalls)
+{
+    CoreParams p = quietParams();
+    p.robSize = 8;
+    O3Core core(p);
+    SimStats s = core.run(dependentChain(5000));
+    EXPECT_GT(s.robFullStalls, 0u);
+    EXPECT_EQ(s.toStatSet().get("rob.full_stalls"), s.robFullStalls);
 }
 
 TEST(Simulator, ConfigsDiffer)
