@@ -33,13 +33,16 @@ double
 suiteIpc(const std::vector<TraceSpec> &suite, ImprovementSet imps,
          const CoreParams &params, std::vector<double> *misp = nullptr)
 {
-    std::vector<double> ipcs;
-    forEachTrace(suite, [&](std::size_t, const TraceSpec &,
+    // Index-addressed slots: the harness may run traces concurrently.
+    std::vector<double> ipcs(suiteCount(suite));
+    if (misp)
+        misp->resize(ipcs.size());
+    forEachTrace(suite, [&](std::size_t i, const TraceSpec &,
                             const CvpTrace &cvp) {
         SimStats s = simulateCvp(cvp, imps, params);
-        ipcs.push_back(s.ipc());
+        ipcs[i] = s.ipc();
         if (misp)
-            misp->push_back(s.branchMpki());
+            (*misp)[i] = s.branchMpki();
     });
     return geomean(ipcs);
 }

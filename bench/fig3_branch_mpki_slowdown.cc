@@ -31,16 +31,18 @@ main()
         double branchRegsSlowdown;
         double flagRegSlowdown;
     };
-    std::vector<Row> rows;
+    // Index-addressed slots: the parallel harness runs the callback
+    // concurrently, so each trace writes rows[i] instead of appending.
+    std::vector<Row> rows(suiteCount(suite));
 
-    forEachTrace(suite, [&](std::size_t, const TraceSpec &spec,
+    forEachTrace(suite, [&](std::size_t i, const TraceSpec &spec,
                             const CvpTrace &cvp) {
         SimStats base = simulateCvp(cvp, kImpNone, params);
         SimStats br = simulateCvp(cvp, kImpBranchRegs, params);
         SimStats fr = simulateCvp(cvp, kImpFlagReg, params);
-        rows.push_back({spec.name, base.branchMpki(),
-                        100.0 * (base.ipc() / br.ipc() - 1.0),
-                        100.0 * (base.ipc() / fr.ipc() - 1.0)});
+        rows[i] = {spec.name, base.branchMpki(),
+                   100.0 * (base.ipc() / br.ipc() - 1.0),
+                   100.0 * (base.ipc() / fr.ipc() - 1.0)};
     });
 
     std::sort(rows.begin(), rows.end(),

@@ -30,14 +30,16 @@ main()
         double wbLoadPct;
         double speedup;
     };
-    std::vector<Row> rows;
+    // Index-addressed slots: the parallel harness runs the callback
+    // concurrently, so each trace writes rows[i] instead of appending.
+    std::vector<Row> rows(suiteCount(suite));
 
-    forEachTrace(suite, [&](std::size_t, const TraceSpec &spec,
+    forEachTrace(suite, [&](std::size_t i, const TraceSpec &spec,
                             const CvpTrace &cvp) {
         SimStats base = simulateCvp(cvp, kImpNone, params);
         SimStats bu = simulateCvp(cvp, kImpBaseUpdate, params);
-        rows.push_back({spec.name, 100.0 * writebackLoadFraction(cvp),
-                        100.0 * (bu.ipc() / base.ipc() - 1.0)});
+        rows[i] = {spec.name, 100.0 * writebackLoadFraction(cvp),
+                   100.0 * (bu.ipc() / base.ipc() - 1.0)};
     });
 
     std::sort(rows.begin(), rows.end(), [](const Row &a, const Row &b) {

@@ -32,14 +32,16 @@ main()
         double rasMpkiFixed;
         double speedup;
     };
-    std::vector<Row> rows;
+    // Index-addressed slots: the parallel harness runs the callback
+    // concurrently, so each trace writes rows[i] instead of appending.
+    std::vector<Row> rows(suiteCount(suite));
 
-    forEachTrace(suite, [&](std::size_t, const TraceSpec &spec,
+    forEachTrace(suite, [&](std::size_t i, const TraceSpec &spec,
                             const CvpTrace &cvp) {
         SimStats base = simulateCvp(cvp, kImpNone, params);
         SimStats fixed = simulateCvp(cvp, kImpCallStack, params);
-        rows.push_back({spec.name, base.returnMpki(), fixed.returnMpki(),
-                        100.0 * (fixed.ipc() / base.ipc() - 1.0)});
+        rows[i] = {spec.name, base.returnMpki(), fixed.returnMpki(),
+                   100.0 * (fixed.ipc() / base.ipc() - 1.0)};
     });
 
     std::sort(rows.begin(), rows.end(), [](const Row &a, const Row &b) {

@@ -8,6 +8,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "cache/hierarchy.hh"
 #include "convert/cvp2champsim.hh"
 #include "obs/metrics.hh"
@@ -158,6 +160,53 @@ BM_CoreSimulationTraced(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * trace.size());
 }
 BENCHMARK(BM_CoreSimulationTraced);
+
+// --- Contended metrics updates: the three concurrency strategies. ---
+//
+// The experiment harness updates the metrics registry from every worker
+// thread.  These benchmarks compare the write-side cost of the three
+// options trb::obs offers under 1/4/8 threads hammering the same
+// registry: a single internal mutex, 16-way sharding by path hash, and
+// per-thread buffering with one flush at the end.
+
+void
+BM_MetricsLockedAdd(benchmark::State &state)
+{
+    static obs::MetricsRegistry registry;
+    const std::string path =
+        "bench.locked.t" + std::to_string(state.thread_index());
+    for (auto _ : state)
+        registry.addCounter(path, 1);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsLockedAdd)->Threads(1)->Threads(4)->Threads(8);
+
+void
+BM_MetricsShardedAdd(benchmark::State &state)
+{
+    static obs::ShardedMetricsRegistry registry;
+    const std::string path =
+        "bench.sharded.t" + std::to_string(state.thread_index());
+    for (auto _ : state)
+        registry.addCounter(path, 1);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsShardedAdd)->Threads(1)->Threads(4)->Threads(8);
+
+void
+BM_MetricsThreadBuffer(benchmark::State &state)
+{
+    static obs::MetricsRegistry registry;
+    const std::string path =
+        "bench.buffered.t" + std::to_string(state.thread_index());
+    // One buffer per benchmark thread, flushed once per iteration batch
+    // -- the same shape as one harness task flushing at task end.
+    obs::ThreadMetricsBuffer buffer(registry);
+    for (auto _ : state)
+        buffer.add(path, 1);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsThreadBuffer)->Threads(1)->Threads(4)->Threads(8);
 
 } // namespace
 

@@ -7,6 +7,8 @@
  */
 
 #include <cstdio>
+#include <string>
+#include <vector>
 
 #include "common/env.hh"
 #include "experiments/experiment.hh"
@@ -28,18 +30,26 @@ main()
                 "IPC", "brMPKI", "direction", "target", "L1I", "L1D",
                 "L2", "LLC");
 
-    forEachTrace(suite, [&](std::size_t, const TraceSpec &spec,
+    // Traces simulate concurrently, so rows are formatted into
+    // index-addressed slots and printed in table order after the join.
+    std::vector<std::string> lines(suiteCount(suite));
+    forEachTrace(suite, [&](std::size_t i, const TraceSpec &spec,
                             const CvpTrace &cvp) {
         // The paper runs whole (30M-instruction) traces without
         // warm-up; our synthetic traces are ~500x shorter, so half the
         // trace warms the structures to avoid cold-miss inflation.
         SimStats s = simulateCvp(cvp, kAllImps, params, 0.5);
-        std::printf(
-            "%-20s %6.2f | %8.2f %10.2f %7.2f | %7.1f %7.1f %7.1f %7.1f\n",
+        char buf[160];
+        std::snprintf(
+            buf, sizeof(buf),
+            "%-20s %6.2f | %8.2f %10.2f %7.2f | %7.1f %7.1f %7.1f %7.1f",
             spec.name.c_str(), s.ipc(), s.branchMpki(), s.directionMpki(),
             s.targetMpki(), s.l1iMpki(), s.l1dMpki(), s.l2Mpki(),
             s.llcMpki());
+        lines[i] = buf;
     });
+    for (const std::string &line : lines)
+        std::printf("%s\n", line.c_str());
 
     obs::finish();
     return 0;

@@ -36,12 +36,19 @@ main()
     constexpr double kWarmup = 0.5;
 
     const auto &names = ipc1PrefetcherNames();
-    // speedups[setIndex][prefetcher] = per-trace IPC ratios.
+    // speedups[setIndex][prefetcher] = per-trace IPC ratios.  The maps
+    // are fully populated (and the per-trace vectors pre-sized) before
+    // the parallel loop, so concurrent tasks only assign distinct
+    // elements -- no rehash, no append, deterministic merge.
+    const std::size_t count = suiteCount(suite);
     std::map<std::string, std::vector<double>> speedups[2];
+    for (int v = 0; v < 2; ++v)
+        for (const std::string &name : names)
+            speedups[v][name].resize(count);
     const ImprovementSet sets[2] = {kImpNone, kIpc1Imps};
     const char *set_names[2] = {"Competition traces", "Fixed traces"};
 
-    forEachTrace(suite, [&](std::size_t, const TraceSpec &,
+    forEachTrace(suite, [&](std::size_t i, const TraceSpec &,
                             const CvpTrace &cvp) {
         for (int v = 0; v < 2; ++v) {
             Cvp2ChampSim conv(sets[v]);
@@ -51,7 +58,7 @@ main()
                 auto pf = makeInstrPrefetcher(name);
                 SimStats s =
                     simulateChampSim(trace, params, kWarmup, pf.get());
-                speedups[v][name].push_back(s.ipc() / base.ipc());
+                speedups[v].at(name)[i] = s.ipc() / base.ipc();
             }
         }
     });

@@ -13,11 +13,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <string>
 #include <vector>
 
 #include "common/stats.hh"
 #include "experiments/experiment.hh"
 #include "ipref/instr_prefetcher.hh"
+#include "par/thread_pool.hh"
 #include "synth/generator.hh"
 
 int
@@ -31,10 +33,16 @@ main(int argc, char **argv)
         argc >= 3 ? std::strtoull(argv[2], nullptr, 10) : 120000;
 
     CoreParams core = ipc1Config();
+    // Pre-populated maps + pre-sized vectors: concurrent tasks assign
+    // distinct elements, so the ranking is identical for any TRB_JOBS.
     std::map<std::string, std::vector<double>> speedups[2];
+    for (int v = 0; v < 2; ++v)
+        for (const std::string &name : ipc1PrefetcherNames())
+            speedups[v][name].resize(ntraces);
+    std::vector<std::string> reports(ntraces);
     const ImprovementSet sets[2] = {kImpNone, kIpc1Imps};
 
-    for (std::size_t i = 0; i < ntraces; ++i) {
+    par::ThreadPool::global().parallelFor(ntraces, [&](std::size_t i) {
         WorkloadParams params = serverParams(1000 + i);
         params.numFunctions = 400 + 150 * static_cast<unsigned>(i);
         CvpTrace cvp = TraceGenerator(params).generate(length);
@@ -42,17 +50,22 @@ main(int argc, char **argv)
             Cvp2ChampSim conv(sets[v]);
             ChampSimTrace trace = conv.convert(cvp);
             SimStats base = simulateChampSim(trace, core, 0.5);
-            std::printf("trace %zu (%s): baseline IPC %.3f, L1I MPKI "
-                        "%.1f\n",
-                        i, v ? "fixed" : "competition", base.ipc(),
-                        base.l1iMpki());
+            char buf[96];
+            std::snprintf(buf, sizeof(buf),
+                          "trace %zu (%s): baseline IPC %.3f, L1I MPKI "
+                          "%.1f\n",
+                          i, v ? "fixed" : "competition", base.ipc(),
+                          base.l1iMpki());
+            reports[i] += buf;
             for (const std::string &name : ipc1PrefetcherNames()) {
                 auto pf = makeInstrPrefetcher(name);
                 SimStats s = simulateChampSim(trace, core, 0.5, pf.get());
-                speedups[v][name].push_back(s.ipc() / base.ipc());
+                speedups[v].at(name)[i] = s.ipc() / base.ipc();
             }
         }
-    }
+    });
+    for (const std::string &report : reports)
+        std::printf("%s", report.c_str());
 
     for (int v = 0; v < 2; ++v) {
         std::vector<std::pair<double, std::string>> rank;

@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <memory>
 
 #include "common/env.hh"
 #include "common/stats.hh"
 #include "obs/metrics.hh"
 #include "obs/profile.hh"
+#include "par/thread_pool.hh"
 #include "synth/generator.hh"
 
 namespace trb
@@ -30,26 +32,42 @@ figureOneSets()
     return sets;
 }
 
+std::size_t
+suiteCount(const std::vector<TraceSpec> &suite)
+{
+    double scale = suiteScaleFromEnv();
+    std::size_t count = std::max<std::size_t>(
+        1, static_cast<std::size_t>(scale * double(suite.size()) + 0.5));
+    return std::min(count, suite.size());
+}
+
 void
 forEachTrace(const std::vector<TraceSpec> &suite,
              const std::function<void(std::size_t, const TraceSpec &,
                                       const CvpTrace &)> &fn)
 {
-    double scale = suiteScaleFromEnv();
-    std::size_t count = std::max<std::size_t>(
-        1, static_cast<std::size_t>(scale * double(suite.size()) + 0.5));
-    count = std::min(count, suite.size());
+    const std::size_t count = suiteCount(suite);
+    par::ThreadPool &pool = par::ThreadPool::global();
     obs::SuiteProgress progress("suite", count);
-    for (std::size_t i = 0; i < count; ++i) {
+    pool.parallelFor(count, [&](std::size_t i) {
+        // Per-worker throughput shows up in the phase profile as
+        // worker.<id>; skipped in serial mode so TRB_JOBS=1 reports
+        // exactly what the serial harness always reported.
+        std::unique_ptr<obs::ScopeTimer> worker_timer;
+        if (pool.jobs() > 1)
+            worker_timer = std::make_unique<obs::ScopeTimer>(
+                "worker." + std::to_string(par::workerId()));
         CvpTrace trace = [&] {
             obs::ScopeTimer timer("generate");
             timer.setItems(suite[i].length);
             TraceGenerator gen(suite[i].params);
             return gen.generate(suite[i].length);
         }();
+        if (worker_timer)
+            worker_timer->setItems(trace.size());
         fn(i, suite[i], trace);
         progress.step(i, trace.size());
-    }
+    });
 }
 
 double
@@ -74,29 +92,45 @@ runImprovementSweep(const std::vector<TraceSpec> &suite,
                     const CoreParams &params,
                     std::vector<SimStats> *baseline_out)
 {
+    const std::size_t count = suiteCount(suite);
     std::vector<DeltaSeries> series(sets.size());
-    for (std::size_t k = 0; k < sets.size(); ++k)
+    for (std::size_t k = 0; k < sets.size(); ++k) {
         series[k].setName = sets[k].name;
+        series[k].ratio.resize(count);
+    }
+    if (baseline_out)
+        baseline_out->resize(count);
 
     obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
+    par::ThreadPool &pool = par::ThreadPool::global();
     forEachTrace(suite, [&](std::size_t i, const TraceSpec &,
                             const CvpTrace &cvp) {
         SimStats base = simulateCvp(cvp, kImpNone, params);
         if (baseline_out)
-            baseline_out->push_back(base);
+            (*baseline_out)[i] = base;
+        // Buffer this task's gauges and flush them in one batch at task
+        // end, so workers contend on the registry once per trace rather
+        // than once per metric (micro_components benchmarks the
+        // alternatives).
+        obs::ThreadMetricsBuffer metrics(reg);
         const std::string trace_tag = "trace" + std::to_string(i);
-        reg.setGauge("sweep.baseline." + trace_tag + ".ipc", base.ipc());
-        for (std::size_t k = 0; k < sets.size(); ++k) {
+        metrics.set("sweep.baseline." + trace_tag + ".ipc", base.ipc());
+        // One task per (trace x improvement set): the inner loop rides
+        // the same work-stealing pool, so idle workers pick up sets of
+        // the trace another worker generated.
+        pool.parallelFor(sets.size(), [&](std::size_t k) {
             obs::ScopeTimer set_timer(std::string("set.") + sets[k].name);
             set_timer.setItems(cvp.size());
             SimStats s = simulateCvp(cvp, sets[k].set, params);
-            double ratio = s.ipc() / base.ipc();
-            series[k].ratio.push_back(ratio);
-            reg.setGauge("sweep." + series[k].setName + "." + trace_tag +
-                             ".ipc_ratio",
-                         ratio);
-        }
+            series[k].ratio[i] = s.ipc() / base.ipc();
+        });
+        for (std::size_t k = 0; k < sets.size(); ++k)
+            metrics.set("sweep." + series[k].setName + "." + trace_tag +
+                            ".ipc_ratio",
+                        series[k].ratio[i]);
     });
+    // Post-join, single-threaded: the summary gauges land in the
+    // registry in series order whatever the task schedule was.
     for (const DeltaSeries &s : series)
         reg.setGauge("sweep." + s.setName + ".geomean_delta_percent",
                      s.geomeanDeltaPercent());

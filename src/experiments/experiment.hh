@@ -4,6 +4,16 @@
  * per-trace generation (trace-major, so memory stays bounded), the
  * improvement-set sweep each figure needs, and small table/series
  * formatting helpers.
+ *
+ * Since PR 2 the harness is parallel: forEachTrace() dispatches one
+ * task per trace onto trb::par::ThreadPool::global() (TRB_JOBS threads,
+ * default hardware_concurrency) and runImprovementSweep() further
+ * splits each trace into one task per improvement set.  Results are
+ * deterministic by construction -- every trace is generated from its
+ * own spec seed and every result lands in an index-addressed slot, so
+ * the output is bit-identical to the serial run (TRB_JOBS=1) regardless
+ * of worker count or schedule.  See docs/parallelism.md for the
+ * contract callers must follow.
  */
 
 #ifndef TRB_EXPERIMENTS_EXPERIMENT_HH
@@ -32,9 +42,24 @@ struct NamedSet
 const std::vector<NamedSet> &figureOneSets();
 
 /**
- * Iterate a suite trace-major: generate each CVP-1 trace once and hand
- * it to the callback, then discard it.  Honours TRB_SUITE_SCALE by
+ * Number of suite entries forEachTrace() will visit after applying
+ * TRB_SUITE_SCALE -- use it to pre-size the index-addressed result
+ * arrays a parallel callback writes into.
+ */
+std::size_t suiteCount(const std::vector<TraceSpec> &suite);
+
+/**
+ * Iterate a suite trace-major: generate each CVP-1 trace once, hand it
+ * to the callback, then discard it.  Honours TRB_SUITE_SCALE by
  * dropping a suffix of the suite.
+ *
+ * Parallelism contract: traces are dispatched onto the global worker
+ * pool, so @p fn may run concurrently for *different* indices (each
+ * index exactly once).  Callbacks must therefore write their results
+ * into per-index slots (pre-size with suiteCount()) rather than
+ * appending to shared containers, and must not print in trace order.
+ * With TRB_JOBS=1 the callback runs inline in index order -- the exact
+ * serial behaviour this harness had before parallelisation.
  */
 void forEachTrace(
     const std::vector<TraceSpec> &suite,
@@ -55,7 +80,13 @@ struct DeltaSeries
  * Run the full Figure 1/2 sweep: for every trace, simulate the original
  * conversion and each named set, collecting IPC ratios.
  *
- * @param baseline_out optional per-trace baseline stats sink
+ * Dispatches one (trace x improvement-set) task per pool slot; the
+ * per-trace ratios are merged back in trace order, so the returned
+ * series (and @p baseline_out) are bit-identical for every TRB_JOBS
+ * value.
+ *
+ * @param baseline_out optional per-trace baseline stats sink, resized
+ *        to the visited-trace count and filled by trace index
  */
 std::vector<DeltaSeries> runImprovementSweep(
     const std::vector<TraceSpec> &suite, const std::vector<NamedSet> &sets,

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <ostream>
 #include <sstream>
 
@@ -15,7 +16,7 @@ namespace obs
 {
 
 std::uint64_t &
-MetricsRegistry::counter(const std::string &path)
+MetricsRegistry::counterLocked(const std::string &path)
 {
     auto it = counterIndex_.find(path);
     if (it == counterIndex_.end()) {
@@ -26,7 +27,7 @@ MetricsRegistry::counter(const std::string &path)
 }
 
 double &
-MetricsRegistry::gauge(const std::string &path)
+MetricsRegistry::gaugeLocked(const std::string &path)
 {
     auto it = gaugeIndex_.find(path);
     if (it == gaugeIndex_.end()) {
@@ -36,11 +37,26 @@ MetricsRegistry::gauge(const std::string &path)
     return gauges_[it->second].value;
 }
 
+std::uint64_t &
+MetricsRegistry::counter(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counterLocked(path);
+}
+
+double &
+MetricsRegistry::gauge(const std::string &path)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return gaugeLocked(path);
+}
+
 Histogram &
 MetricsRegistry::histogram(const std::string &path,
                            std::uint64_t bucket_width,
                            std::size_t num_buckets)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = histogramIndex_.find(path);
     if (it == histogramIndex_.end()) {
         it = histogramIndex_.emplace(path, histograms_.size()).first;
@@ -49,9 +65,31 @@ MetricsRegistry::histogram(const std::string &path,
     return histograms_[it->second].hist;
 }
 
+void
+MetricsRegistry::setCounter(const std::string &path, std::uint64_t v)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counterLocked(path) = v;
+}
+
+void
+MetricsRegistry::setGauge(const std::string &path, double v)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    gaugeLocked(path) = v;
+}
+
+void
+MetricsRegistry::addCounter(const std::string &path, std::uint64_t delta)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    counterLocked(path) += delta;
+}
+
 std::uint64_t
 MetricsRegistry::counterValue(const std::string &path) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = counterIndex_.find(path);
     return it == counterIndex_.end() ? 0 : counters_[it->second].value;
 }
@@ -59,19 +97,39 @@ MetricsRegistry::counterValue(const std::string &path) const
 double
 MetricsRegistry::gaugeValue(const std::string &path) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = gaugeIndex_.find(path);
     return it == gaugeIndex_.end() ? 0.0 : gauges_[it->second].value;
+}
+
+bool
+MetricsRegistry::empty() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
 }
 
 void
 MetricsRegistry::clear()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     counters_.clear();
     gauges_.clear();
     histograms_.clear();
     counterIndex_.clear();
     gaugeIndex_.clear();
     histogramIndex_.clear();
+}
+
+MetricsRegistry::Snapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Snapshot snap;
+    snap.counters.assign(counters_.begin(), counters_.end());
+    snap.gauges.assign(gauges_.begin(), gauges_.end());
+    snap.histograms.assign(histograms_.begin(), histograms_.end());
+    return snap;
 }
 
 std::string
@@ -118,22 +176,23 @@ jsonDouble(double v)
 void
 MetricsRegistry::writeJson(std::ostream &os) const
 {
+    const Snapshot snap = snapshot();
     os << "{\n  \"counters\": {";
     const char *sep = "";
-    for (const CounterEntry &c : counters_) {
+    for (const CounterEntry &c : snap.counters) {
         os << sep << "\n    " << jsonQuote(c.path) << ": " << c.value;
         sep = ",";
     }
-    os << (counters_.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
+    os << (snap.counters.empty() ? "" : "\n  ") << "},\n  \"gauges\": {";
     sep = "";
-    for (const GaugeEntry &g : gauges_) {
+    for (const GaugeEntry &g : snap.gauges) {
         os << sep << "\n    " << jsonQuote(g.path) << ": "
            << jsonDouble(g.value);
         sep = ",";
     }
-    os << (gauges_.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
+    os << (snap.gauges.empty() ? "" : "\n  ") << "},\n  \"histograms\": {";
     sep = "";
-    for (const HistogramEntry &h : histograms_) {
+    for (const HistogramEntry &h : snap.histograms) {
         os << sep << "\n    " << jsonQuote(h.path) << ": {"
            << "\"bucket_width\": " << h.hist.bucketWidth()
            << ", \"total\": " << h.hist.total()
@@ -148,18 +207,19 @@ MetricsRegistry::writeJson(std::ostream &os) const
         os << "]}";
         sep = ",";
     }
-    os << (histograms_.empty() ? "" : "\n  ") << "}\n}\n";
+    os << (snap.histograms.empty() ? "" : "\n  ") << "}\n}\n";
 }
 
 void
 MetricsRegistry::writeCsv(std::ostream &os) const
 {
+    const Snapshot snap = snapshot();
     os << "kind,path,value\n";
-    for (const CounterEntry &c : counters_)
+    for (const CounterEntry &c : snap.counters)
         os << "counter," << c.path << "," << c.value << "\n";
-    for (const GaugeEntry &g : gauges_)
+    for (const GaugeEntry &g : snap.gauges)
         os << "gauge," << g.path << "," << jsonDouble(g.value) << "\n";
-    for (const HistogramEntry &h : histograms_) {
+    for (const HistogramEntry &h : snap.histograms) {
         os << "histogram," << h.path << ".total," << h.hist.total() << "\n";
         os << "histogram," << h.path << ".mean,"
            << jsonDouble(h.hist.meanValue()) << "\n";
@@ -192,6 +252,98 @@ MetricsRegistry::global()
     static MetricsRegistry registry;
     return registry;
 }
+
+// ---- ShardedMetricsRegistry ----
+
+MetricsRegistry &
+ShardedMetricsRegistry::shard(const std::string &path)
+{
+    return shards_[std::hash<std::string>{}(path) % kShards];
+}
+
+const MetricsRegistry &
+ShardedMetricsRegistry::shard(const std::string &path) const
+{
+    return shards_[std::hash<std::string>{}(path) % kShards];
+}
+
+void
+ShardedMetricsRegistry::addCounter(const std::string &path,
+                                   std::uint64_t delta)
+{
+    shard(path).addCounter(path, delta);
+}
+
+void
+ShardedMetricsRegistry::setGauge(const std::string &path, double v)
+{
+    shard(path).setGauge(path, v);
+}
+
+std::uint64_t
+ShardedMetricsRegistry::counterValue(const std::string &path) const
+{
+    return shard(path).counterValue(path);
+}
+
+double
+ShardedMetricsRegistry::gaugeValue(const std::string &path) const
+{
+    return shard(path).gaugeValue(path);
+}
+
+void
+ShardedMetricsRegistry::mergeInto(MetricsRegistry &target) const
+{
+    for (const MetricsRegistry &s : shards_) {
+        const MetricsRegistry::Snapshot snap = s.snapshot();
+        for (const MetricsRegistry::CounterEntry &c : snap.counters)
+            target.addCounter(c.path, c.value);
+        for (const MetricsRegistry::GaugeEntry &g : snap.gauges)
+            target.setGauge(g.path, g.value);
+    }
+}
+
+// ---- ThreadMetricsBuffer ----
+
+void
+ThreadMetricsBuffer::add(const std::string &path, std::uint64_t delta)
+{
+    auto it = counterIndex_.find(path);
+    if (it == counterIndex_.end()) {
+        counterIndex_.emplace(path, counters_.size());
+        counters_.emplace_back(path, delta);
+        return;
+    }
+    counters_[it->second].second += delta;
+}
+
+void
+ThreadMetricsBuffer::set(const std::string &path, double v)
+{
+    auto it = gaugeIndex_.find(path);
+    if (it == gaugeIndex_.end()) {
+        gaugeIndex_.emplace(path, gauges_.size());
+        gauges_.emplace_back(path, v);
+        return;
+    }
+    gauges_[it->second].second = v;
+}
+
+void
+ThreadMetricsBuffer::flush()
+{
+    for (const auto &[path, delta] : counters_)
+        target_.addCounter(path, delta);
+    for (const auto &[path, v] : gauges_)
+        target_.setGauge(path, v);
+    counters_.clear();
+    gauges_.clear();
+    counterIndex_.clear();
+    gaugeIndex_.clear();
+}
+
+// ---- process-end export ----
 
 namespace
 {
@@ -227,7 +379,7 @@ bool
 finish()
 {
     PhaseProfile &phases = PhaseProfile::global();
-    if (!phases.entries().empty()) {
+    if (!phases.empty()) {
         phases.exportTo(MetricsRegistry::global(), "phase");
         if (logEnabled(LogLevel::Info))
             trb_inform("phase profile:\n", phases.report("  "));

@@ -11,6 +11,16 @@
  * registry's lifetime, so hot paths look a metric up once and increment
  * through the reference.
  *
+ * Thread safety: registration (counter()/gauge()/histogram() lookup or
+ * creation) and the whole-value mutators (setCounter()/setGauge()/
+ * addCounter()) are safe to call concurrently; exports take a consistent
+ * snapshot under the same lock, so a late worker can never race the
+ * at-exit dump.  Mutating *through a cached reference* is lock-free and
+ * therefore only safe while a single thread owns that path -- parallel
+ * harness code routes hot updates through a ThreadMetricsBuffer (one
+ * buffer per task, flushed at task end) or a ShardedMetricsRegistry
+ * instead; micro_components benchmarks both strategies.
+ *
  * TRB_OBS_JSON=<path> / TRB_OBS_CSV=<path> make obs::finish() (called by
  * the bench mains) write the global registry out at process end.
  */
@@ -21,8 +31,10 @@
 #include <cstdint>
 #include <deque>
 #include <iosfwd>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/stats.hh"
 
@@ -56,7 +68,28 @@ class MetricsRegistry
         Histogram hist;
     };
 
-    /** Reference to the counter at @p path, created at 0 if absent. */
+    /**
+     * A consistent copy of every metric, taken under the registry lock.
+     * This is what the exporters render, so a concurrent writer can
+     * never tear a dump.
+     */
+    struct Snapshot
+    {
+        std::vector<CounterEntry> counters;
+        std::vector<GaugeEntry> gauges;
+        std::vector<HistogramEntry> histograms;
+    };
+
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    /**
+     * Reference to the counter at @p path, created at 0 if absent.
+     * Registration is thread-safe and the reference stays valid for the
+     * registry's lifetime; increments through the reference are
+     * unsynchronised (single-writer paths only).
+     */
     std::uint64_t &counter(const std::string &path);
 
     /** Reference to the gauge at @p path, created at 0.0 if absent. */
@@ -70,12 +103,12 @@ class MetricsRegistry
                          std::uint64_t bucket_width = 1,
                          std::size_t num_buckets = 32);
 
-    /** Set-style conveniences for one-shot exports. */
-    void setCounter(const std::string &path, std::uint64_t v)
-    {
-        counter(path) = v;
-    }
-    void setGauge(const std::string &path, double v) { gauge(path) = v; }
+    /** Set-style conveniences; fully locked, safe from any thread. */
+    void setCounter(const std::string &path, std::uint64_t v);
+    void setGauge(const std::string &path, double v);
+
+    /** Locked add: safe for concurrent updates of the same path. */
+    void addCounter(const std::string &path, std::uint64_t delta = 1);
 
     /** Value of a counter; 0 if absent (does not create). */
     std::uint64_t counterValue(const std::string &path) const;
@@ -83,6 +116,12 @@ class MetricsRegistry
     /** Value of a gauge; 0.0 if absent (does not create). */
     double gaugeValue(const std::string &path) const;
 
+    /**
+     * Direct views of the entries, in insertion order.  Not
+     * synchronised against writers: only use once concurrent updates
+     * have quiesced (tests, post-join reporting); use snapshot()
+     * otherwise.
+     */
     const std::deque<CounterEntry> &counters() const { return counters_; }
     const std::deque<GaugeEntry> &gauges() const { return gauges_; }
     const std::deque<HistogramEntry> &histograms() const
@@ -90,20 +129,20 @@ class MetricsRegistry
         return histograms_;
     }
 
-    bool
-    empty() const
-    {
-        return counters_.empty() && gauges_.empty() && histograms_.empty();
-    }
+    bool empty() const;
 
     /** Drop every metric (tests; fresh runs in one process). */
     void clear();
+
+    /** Copy every metric under the lock. */
+    Snapshot snapshot() const;
 
     /**
      * Write the registry as one JSON object:
      * {"counters": {path: value, ...}, "gauges": {...},
      *  "histograms": {path: {bucket_width, total, mean, p50, p99,
      *                        buckets: [...]}, ...}}
+     * Renders a snapshot(), so it is safe against concurrent writers.
      */
     void writeJson(std::ostream &os) const;
 
@@ -117,12 +156,91 @@ class MetricsRegistry
     static MetricsRegistry &global();
 
   private:
+    std::uint64_t &counterLocked(const std::string &path);
+    double &gaugeLocked(const std::string &path);
+
+    mutable std::mutex mutex_;
     std::deque<CounterEntry> counters_;
     std::deque<GaugeEntry> gauges_;
     std::deque<HistogramEntry> histograms_;
     std::unordered_map<std::string, std::size_t> counterIndex_;
     std::unordered_map<std::string, std::size_t> gaugeIndex_;
     std::unordered_map<std::string, std::size_t> histogramIndex_;
+};
+
+/**
+ * Concurrency strategy 1: a registry split into independently locked
+ * shards, routed by path hash.  Concurrent updates of *different* paths
+ * mostly hit different shards, so contention drops roughly by the shard
+ * count; updates of the same path serialise on one shard lock but stay
+ * correct.  mergeInto() folds the shards back into a plain registry
+ * (shard-major, insertion order within a shard) for export.
+ */
+class ShardedMetricsRegistry
+{
+  public:
+    static constexpr std::size_t kShards = 16;
+
+    /** Locked add on the owning shard. */
+    void addCounter(const std::string &path, std::uint64_t delta = 1);
+
+    /** Locked set on the owning shard. */
+    void setGauge(const std::string &path, double v);
+
+    /** Sum of a counter across shards (it lives in exactly one). */
+    std::uint64_t counterValue(const std::string &path) const;
+    double gaugeValue(const std::string &path) const;
+
+    /** Fold every shard's entries into @p target (locked adds/sets). */
+    void mergeInto(MetricsRegistry &target) const;
+
+  private:
+    MetricsRegistry &shard(const std::string &path);
+    const MetricsRegistry &shard(const std::string &path) const;
+
+    MetricsRegistry shards_[kShards];
+};
+
+/**
+ * Concurrency strategy 2: a per-task (or per-thread) buffer of metric
+ * updates, flushed into a shared registry in one batch.  The hot path
+ * touches only thread-local memory; the shared lock is taken once per
+ * flush instead of once per update.  Destruction flushes, so the
+ * natural usage is one stack-allocated buffer per parallel task:
+ *
+ *     par::ThreadPool::global().parallelFor(n, [&](std::size_t i) {
+ *         ThreadMetricsBuffer buf(obs::MetricsRegistry::global());
+ *         buf.add("sweep.traces", 1);
+ *         buf.set("sweep.trace" + std::to_string(i) + ".ipc", ipc);
+ *     });   // flushed at task end
+ */
+class ThreadMetricsBuffer
+{
+  public:
+    explicit ThreadMetricsBuffer(MetricsRegistry &target)
+        : target_(target)
+    {}
+
+    ThreadMetricsBuffer(const ThreadMetricsBuffer &) = delete;
+    ThreadMetricsBuffer &operator=(const ThreadMetricsBuffer &) = delete;
+
+    ~ThreadMetricsBuffer() { flush(); }
+
+    /** Buffer a counter delta (folded locally until flush). */
+    void add(const std::string &path, std::uint64_t delta = 1);
+
+    /** Buffer a gauge set (last local write wins at flush). */
+    void set(const std::string &path, double v);
+
+    /** Apply every buffered update to the target registry and reset. */
+    void flush();
+
+  private:
+    MetricsRegistry &target_;
+    std::vector<std::pair<std::string, std::uint64_t>> counters_;
+    std::vector<std::pair<std::string, double>> gauges_;
+    std::unordered_map<std::string, std::size_t> counterIndex_;
+    std::unordered_map<std::string, std::size_t> gaugeIndex_;
 };
 
 /** Escape a string for embedding in a JSON document (adds quotes). */

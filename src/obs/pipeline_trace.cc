@@ -34,6 +34,13 @@ PipelineTracer::capacityFromEnv(std::size_t def)
     return std::max<std::uint64_t>(envU64("TRB_TRACE_BUF", def), 1);
 }
 
+PipelineTracer &
+PipelineTracer::thisThread()
+{
+    thread_local PipelineTracer tracer;
+    return tracer;
+}
+
 void
 PipelineTracer::clear()
 {

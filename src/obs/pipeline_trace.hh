@@ -79,6 +79,16 @@ class PipelineTracer
 
     std::size_t capacity() const { return ring_.size(); }
 
+    /**
+     * The calling thread's own ring (created on first use, capacity
+     * from TRB_TRACE_BUF).  Parallel harness code attaches this to its
+     * core so concurrent simulations never share a buffer: each worker
+     * records into its private ring, and a task that wants the events
+     * clears the ring before the run and collects events() after it --
+     * the ring outlives tasks, not threads.
+     */
+    static PipelineTracer &thisThread();
+
     /** Total records ever pushed (>= size() once wrapped). */
     std::uint64_t recorded() const { return recorded_; }
 

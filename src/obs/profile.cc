@@ -15,6 +15,7 @@ void
 PhaseProfile::add(const std::string &phase, double seconds,
                   std::uint64_t items)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = index_.find(phase);
     if (it == index_.end()) {
         it = index_.emplace(phase, entries_.size()).first;
@@ -29,13 +30,22 @@ PhaseProfile::add(const std::string &phase, double seconds,
 double
 PhaseProfile::seconds(const std::string &phase) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = index_.find(phase);
     return it == index_.end() ? 0.0 : entries_[it->second].seconds;
+}
+
+bool
+PhaseProfile::empty() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.empty();
 }
 
 void
 PhaseProfile::clear()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
     index_.clear();
 }
@@ -43,6 +53,7 @@ PhaseProfile::clear()
 std::string
 PhaseProfile::report(const std::string &prefix) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     double total = 0.0;
     for (const Entry &e : entries_)
         total += e.seconds;
@@ -63,6 +74,7 @@ PhaseProfile::report(const std::string &prefix) const
 void
 PhaseProfile::exportTo(MetricsRegistry &reg, const std::string &prefix) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     for (const Entry &e : entries_) {
         const std::string base = prefix + "." + e.name;
         reg.setGauge(base + ".seconds", e.seconds);
@@ -90,6 +102,7 @@ SuiteProgress::SuiteProgress(std::string what, std::size_t total)
 void
 SuiteProgress::step(std::size_t index, std::uint64_t items)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     ++done_;
     items_ += items;
     if (logEnabled(LogLevel::Debug)) {

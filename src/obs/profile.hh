@@ -1,14 +1,19 @@
 /**
  * @file
  * Phase profiling: RAII wall-clock scope timers accumulating into named
- * phases ("generate", "convert", "simulate", "set.All") plus a suite
- * progress reporter, so every experiment can answer "which stage of the
- * run dominates?" and report instructions/second per stage.
+ * phases ("generate", "convert", "simulate", "set.All", "worker.3") plus
+ * a suite progress reporter, so every experiment can answer "which stage
+ * of the run dominates?" and report instructions/second per stage.
  *
  * The experiment harness times its stages automatically; bench binaries
  * surface the accumulated table via obs::finish().  Profiling costs two
- * steady_clock reads per scope, negligible against the thousands of
- * simulated instructions each scope covers.
+ * steady_clock reads plus one short lock per scope, negligible against
+ * the thousands of simulated instructions each scope covers.
+ *
+ * Thread safety: PhaseProfile::add() and SuiteProgress::step() are safe
+ * from concurrent pool workers (the parallel harness times every task);
+ * under TRB_JOBS>1 the *first-seen order* of phases depends on the
+ * schedule, but the accumulated seconds/calls/items per phase do not.
  */
 
 #ifndef TRB_OBS_PROFILE_HH
@@ -17,6 +22,7 @@
 #include <chrono>
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -45,15 +51,20 @@ class PhaseProfile
         }
     };
 
-    /** Fold one timed scope into @p phase. */
+    /** Fold one timed scope into @p phase (locked, any thread). */
     void add(const std::string &phase, double seconds,
              std::uint64_t items = 0);
 
-    /** All phases in first-seen order. */
+    /**
+     * All phases in first-seen order.  Not synchronised against
+     * writers: only use once concurrent scopes have quiesced.
+     */
     const std::deque<Entry> &entries() const { return entries_; }
 
     /** Accumulated seconds of a phase; 0 if absent. */
     double seconds(const std::string &phase) const;
+
+    bool empty() const;
 
     void clear();
 
@@ -73,6 +84,7 @@ class PhaseProfile
     static PhaseProfile &global();
 
   private:
+    mutable std::mutex mutex_;
     std::deque<Entry> entries_;
     std::unordered_map<std::string, std::size_t> index_;
 };
@@ -121,6 +133,7 @@ class ScopeTimer
 /**
  * Suite progress reporter: logs per-trace progress at debug level and an
  * end-of-suite wall-time / instructions-per-second summary at info level.
+ * step() is safe from concurrent pool workers.
  */
 class SuiteProgress
 {
@@ -135,6 +148,7 @@ class SuiteProgress
     void step(std::size_t index, std::uint64_t items = 0);
 
   private:
+    std::mutex mutex_;
     std::string what_;
     std::size_t total_;
     std::size_t done_ = 0;

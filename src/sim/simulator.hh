@@ -11,6 +11,13 @@
  *    ideal branch-target predictor and a pluggable L1I prefetcher (the
  *    paper's Section 4.4 re-evaluation, which also carries the branch
  *    identification patch).
+ *
+ * Thread safety: both helpers are pure -- each call builds its own
+ * converter and O3Core and touches no shared mutable state -- so the
+ * experiment harness calls them concurrently from pool workers (see
+ * docs/parallelism.md).  The one caveat is the optional @c ipref
+ * argument: the prefetcher instance is mutated during simulation, so
+ * concurrent calls must each pass their own instance (or share none).
  */
 
 #ifndef TRB_SIM_SIMULATOR_HH
@@ -39,9 +46,15 @@ CoreParams ipc1Config();
 /**
  * One full experiment step: convert @p cvp under @p imps and simulate.
  *
+ * Deterministic: the result depends only on the arguments, never on
+ * scheduling -- the property the parallel harness's bit-identical
+ * output rests on.
+ *
  * @param warmupFraction leading fraction of the *converted* trace whose
  *        statistics are discarded (the IPC-1 methodology warms up half)
- * @param ipref optional instruction prefetcher plugged into the L1I
+ * @param ipref optional instruction prefetcher plugged into the L1I;
+ *        mutated by the run, so never share one instance across
+ *        concurrent calls
  */
 SimStats simulateCvp(const CvpTrace &cvp, ImprovementSet imps,
                      const CoreParams &params, double warmupFraction = 0.0,

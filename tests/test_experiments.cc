@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 
@@ -49,7 +50,9 @@ TEST(Harness, ForEachTraceHonoursScale)
 {
     auto suite = reducedSuite(2000);
     setenv("TRB_SUITE_SCALE", "0.5", 1);
-    std::size_t seen = 0;
+    // Atomic: the harness may invoke the callback from several
+    // workers when TRB_JOBS > 1.
+    std::atomic<std::size_t> seen{0};
     forEachTrace(suite, [&](std::size_t i, const TraceSpec &spec,
                             const CvpTrace &t) {
         EXPECT_EQ(spec.name, suite[i].name);
@@ -147,7 +150,7 @@ TEST(PaperDirections, BaseUpdateShrinksMpkisViaInflation)
     // The paper's Section 4.3 side effect: splitting inflates the
     // instruction count, so per-kilo-instruction rates drop slightly.
     auto suite = reducedSuite(30000);
-    std::size_t checked = 0;
+    std::atomic<std::size_t> checked{0};
     forEachTrace(suite, [&](std::size_t, const TraceSpec &,
                             const CvpTrace &cvp) {
         Cvp2ChampSim conv(kImpBaseUpdate);
