@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Lint demo: a deliberately broken conversion caught statically.
+ *
+ * Converts one synthetic CVP-1 workload twice -- once with the original
+ * (unimproved) converter, once fully improved -- and runs trb::lint over
+ * both.  The unimproved stream trips several of the paper's defect
+ * classes (mem-dest-regs, base-update-split, flag-dest, and friends);
+ * the improved stream is clean.  No simulation runs: every finding comes
+ * from a linear scan of the trace.
+ *
+ * Usage:  lint_demo [seed] [length]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "convert/cvp2champsim.hh"
+#include "lint/lint.hh"
+#include "synth/generator.hh"
+#include "synth/params.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace trb;
+
+    std::uint64_t seed = argc >= 2 ? std::strtoull(argv[1], nullptr, 10) : 7;
+    std::uint64_t length =
+        argc >= 3 ? std::strtoull(argv[2], nullptr, 10) : 50000;
+
+    WorkloadParams params = serverParams(seed);
+    params.baseUpdateFrac = 0.08;   // plenty of writeback loads to break
+    CvpTrace cvp = TraceGenerator(params).generate(length);
+
+    lint::LintOptions opts;
+    opts.maxDiagnosticsPerRule = 2;   // a taste of each defect class
+
+    std::cout << "== original converter (No_imp) ==\n";
+    ChampSimTrace broken = Cvp2ChampSim(kImpNone).convert(cvp);
+    lint::LintReport dirty = lint::lintConverted(cvp, broken, opts);
+    lint::writeReportText(std::cout, dirty, "No_imp");
+
+    std::cout << "\n== improved converter (All_imps) ==\n";
+    ChampSimTrace fixed = Cvp2ChampSim(kAllImps).convert(cvp);
+    lint::LintReport clean = lint::lintConverted(cvp, fixed, opts);
+    lint::writeReportText(std::cout, clean, "All_imps");
+
+    std::cout << "\nrules tripped by the unimproved conversion: "
+              << dirty.counts.size() << "; by the improved conversion: "
+              << clean.counts.size() << "\n";
+    return clean.clean() ? 0 : 1;
+}

@@ -126,7 +126,13 @@ class Histogram
     }
 
     std::uint64_t total() const { return total_; }
-    double meanValue() const { return total_ ? double(sum_) / total_ : 0.0; }
+    double
+    meanValue() const
+    {
+        return total_ ? static_cast<double>(sum_) /
+                            static_cast<double>(total_)
+                      : 0.0;
+    }
     const std::vector<std::uint64_t> &buckets() const { return counts_; }
     std::uint64_t bucketWidth() const { return width_; }
 

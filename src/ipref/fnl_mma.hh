@@ -70,7 +70,7 @@ class FnlMmaPrefetcher : public InstrPrefetcher
 
     static std::size_t index(Addr line) { return (line >> 6) % 8192; }
 
-    std::array<SatCounter, 8192> fnl_{};
+    std::array<SatCounter, 8192> fnl_;
     std::array<Addr, 4096> missLog_{};
     std::array<std::uint32_t, 8192> missIndex_{};
     std::uint32_t logHead_ = 0;

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * The trb::lint diagnostic type: one finding of the static trace checker,
+ * carrying the rule that fired, a severity, the position in the converted
+ * stream (record index and PC) and a human-readable message plus fix hint.
+ *
+ * Severity semantics follow compiler practice: Error means the stream
+ * violates an invariant the fully-improved converter guarantees (a real
+ * conversion defect), Warn means the stream is suspicious but a legitimate
+ * cause exists (e.g. a trace that starts mid-program), Info is advisory.
+ */
+
+#ifndef TRB_LINT_DIAGNOSTIC_HH
+#define TRB_LINT_DIAGNOSTIC_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace trb
+{
+namespace lint
+{
+
+/** How severe a finding is; ordered so comparisons work. */
+enum class Severity : std::uint8_t
+{
+    Info = 0,
+    Warn = 1,
+    Error = 2,
+};
+
+/** Lower-case severity name ("error", "warn", "info"). */
+const char *severityName(Severity s);
+
+/** One finding of the linter. */
+struct Diagnostic
+{
+    std::string rule;        //!< rule id that fired (e.g. "base-update-split")
+    Severity severity = Severity::Error;
+    std::uint64_t index = 0; //!< index into the converted (µop) stream
+    Addr pc = 0;             //!< PC of the offending record
+    std::string message;     //!< what invariant is violated, with evidence
+    std::string fixHint;     //!< which converter improvement/action fixes it
+};
+
+} // namespace lint
+} // namespace trb
+
+#endif // TRB_LINT_DIAGNOSTIC_HH

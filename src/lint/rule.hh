@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The lint rule interface and registry.
+ *
+ * A Rule is a stateful linear-scan checker: the Linter feeds it one
+ * LintUnit at a time (one originating CVP-1 record together with the one
+ * or two ChampSim µops it converted into, or a single µop when no CVP
+ * stream is available) and the rule reports Diagnostics through a sink.
+ * Rules are constructed fresh per lint run, so they may carry scan state
+ * (previous record, def-sets, call-stack balance) without any re-entrancy
+ * concerns.
+ *
+ * The registry (ruleCatalog()) is the authoritative list of rules: ids,
+ * default severities, the paper section each rule encodes, and whether the
+ * rule needs the originating CVP-1 stream (paired mode) to run.
+ */
+
+#ifndef TRB_LINT_RULE_HH
+#define TRB_LINT_RULE_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lint/diagnostic.hh"
+#include "trace/champsim_trace.hh"
+#include "trace/cvp_trace.hh"
+
+namespace trb
+{
+namespace lint
+{
+
+/** Static description of one rule (registry entry). */
+struct RuleInfo
+{
+    const char *id;          //!< stable kebab-case identifier
+    const char *summary;     //!< one-line description of the invariant
+    const char *citation;    //!< paper section / defect class it encodes
+    Severity severity;       //!< default severity of its findings
+    bool needsCvp;           //!< true: paired (CVP + ChampSim) rules only
+};
+
+/** Tunable thresholds of the structural rules. */
+struct LintLimits
+{
+    /**
+     * Unmatched returns (returns deduced while the scanned call depth is
+     * zero) tolerated before ras-balance reports: a trace captured
+     * mid-program legitimately unwinds frames entered before capture.
+     */
+    std::uint64_t rasSlack = 8;
+
+    /**
+     * Largest forward PC step accepted between a non-branch (or
+     * not-taken branch) and its successor before pc-teleport reports.
+     * Basic blocks are at most a few cachelines apart in any sane
+     * layout; converted split µops step by 2, instructions by 4.
+     */
+    std::uint64_t maxFallthroughGap = 4096;
+};
+
+/**
+ * One unit of lint work: a converted instruction.  In paired mode, @p cvp
+ * points at the originating CVP-1 record and uops[0..numUops) are the
+ * ChampSim records it produced (two for a split base-update).  In
+ * stream-only mode @p cvp is null and the unit is a single µop.
+ */
+struct LintUnit
+{
+    const CvpRecord *cvp = nullptr;
+    const ChampSimRecord *uops = nullptr;
+    unsigned numUops = 0;
+    std::uint64_t index = 0;   //!< µop-stream index of uops[0]
+};
+
+/** Where rules deposit their findings. */
+class DiagnosticSink
+{
+  public:
+    virtual ~DiagnosticSink() = default;
+
+    /** Report one finding at @p index / @p pc under @p rule. */
+    virtual void report(const RuleInfo &rule, std::uint64_t index, Addr pc,
+                        std::string message, std::string fix_hint = {}) = 0;
+};
+
+/** A stateful linear-scan checker over the converted stream. */
+class Rule
+{
+  public:
+    explicit Rule(const RuleInfo &info) : info_(info) {}
+    virtual ~Rule() = default;
+
+    Rule(const Rule &) = delete;
+    Rule &operator=(const Rule &) = delete;
+
+    const RuleInfo &info() const { return info_; }
+
+    /** Examine one unit; may report through @p sink. */
+    virtual void check(const LintUnit &unit, DiagnosticSink &sink) = 0;
+
+    /** Stream end: summary rules (e.g. ras-balance) report here. */
+    virtual void finish(DiagnosticSink &sink) { (void)sink; }
+
+  private:
+    const RuleInfo &info_;
+};
+
+/**
+ * The registry: every rule the linter knows, in report order.  The six
+ * paper rules come first, then the structural rules, then the pseudo-rule
+ * "align" the Linter itself emits when it cannot match a CVP record to
+ * the converted stream.
+ */
+const std::vector<RuleInfo> &ruleCatalog();
+
+/** Registry entry for @p id; null when unknown. */
+const RuleInfo *findRule(const std::string &id);
+
+/** The Linter's own alignment pseudo-rule (also in the catalog). */
+const RuleInfo &alignRuleInfo();
+
+/**
+ * Instantiate fresh rule objects for one lint run.  @p enabled lists rule
+ * ids to instantiate; an empty list means every real rule.  Ids are
+ * assumed validated (see LintOptions::validate()).
+ */
+std::vector<std::unique_ptr<Rule>>
+makeRules(const std::vector<std::string> &enabled, const LintLimits &limits);
+
+} // namespace lint
+} // namespace trb
+
+#endif // TRB_LINT_RULE_HH

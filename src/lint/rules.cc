@@ -1,0 +1,863 @@
+/**
+ * @file
+ * The concrete lint rules: one per paper improvement group (Section 3's
+ * six conversion-defect classes) plus the structural stream checks.
+ *
+ * Each rule re-derives the invariant from first principles -- e.g. the
+ * footprint rule recomputes the transfer size exactly the way the
+ * improved converter does -- so a conversion produced with any defective
+ * personality (or by an external tool) is caught without knowing which
+ * improvements were enabled.
+ */
+
+#include "lint/rule.hh"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+
+#include "convert/cvp2champsim.hh"
+#include "trace/branch_deduce.hh"
+
+namespace trb
+{
+namespace lint
+{
+namespace
+{
+
+// ---------------------------------------------------------------------
+// Shared helpers.
+
+constexpr std::size_t kRegSpace = 256;   // RegId is uint8_t
+
+bool
+isSpecialReg(RegId r)
+{
+    return r == champsim::kStackPointer || r == champsim::kFlags ||
+           r == champsim::kInstructionPointer || r == champsim::kOtherReg;
+}
+
+std::string
+hex(Addr a)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << a;
+    return os.str();
+}
+
+/** True when any µop of the unit reads @p r. */
+bool
+unitReads(const LintUnit &u, RegId r)
+{
+    for (unsigned i = 0; i < u.numUops; ++i)
+        if (u.uops[i].readsReg(r))
+            return true;
+    return false;
+}
+
+/** True when any µop of the unit writes @p r. */
+bool
+unitWrites(const LintUnit &u, RegId r)
+{
+    for (unsigned i = 0; i < u.numUops; ++i)
+        if (u.uops[i].writesReg(r))
+            return true;
+    return false;
+}
+
+/**
+ * The destination registers a *correct* full conversion materialises for
+ * @p rec, in ChampSim register space: branches materialise none (IP/SP
+ * own both slots -- the paper's acknowledged X30 limitation), memory
+ * records materialise an inferred writeback base plus the first
+ * kMaxDst non-base data registers, ALU records the first kMaxDst.
+ * Anything beyond is lost to the 64-byte record format, not to a defect.
+ */
+std::vector<RegId>
+expectedMaterializedDsts(const CvpRecord &rec)
+{
+    std::vector<RegId> out;
+    if (isBranch(rec.cls))
+        return out;
+
+    unsigned base_index = rec.numDst;   // sentinel: no writeback base
+    if (isMem(rec.cls)) {
+        BaseUpdateInfo bu = Cvp2ChampSim::inferBaseUpdate(rec);
+        if (bu.kind != BaseUpdateKind::None) {
+            base_index = bu.dstIndex;
+            out.push_back(Cvp2ChampSim::mapReg(bu.baseReg));
+        }
+    }
+    unsigned data_slots = 0;
+    for (unsigned i = 0; i < rec.numDst; ++i) {
+        if (i == base_index)
+            continue;
+        RegId m = Cvp2ChampSim::mapReg(rec.dst[i]);
+        if (std::find(out.begin(), out.end(), m) != out.end())
+            continue;   // converter slots deduplicate
+        if (data_slots == champsim::kMaxDst)
+            break;      // truncated by the record format
+        out.push_back(m);
+        ++data_slots;
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// R1: memory destination registers must be exact (paper section 3.1.1).
+
+const RuleInfo kMemDestRegsInfo = {
+    "mem-dest-regs",
+    "memory records carry exactly the CVP-1 destination registers "
+    "(no inserted X0, no dropped data registers)",
+    "paper section 3.1.1 (imp_mem-regs)",
+    Severity::Error,
+    true,
+};
+
+class MemDestRegsRule : public Rule
+{
+  public:
+    MemDestRegsRule() : Rule(kMemDestRegsInfo) {}
+
+    void
+    check(const LintUnit &u, DiagnosticSink &sink) override
+    {
+        if (!u.cvp || !isMem(u.cvp->cls))
+            return;
+        const CvpRecord &rec = *u.cvp;
+
+        std::vector<RegId> expected = expectedMaterializedDsts(rec);
+        for (RegId m : expected) {
+            if (!unitWrites(u, m)) {
+                sink.report(info(), u.index, rec.pc,
+                            "destination register " + std::to_string(m) +
+                                " recorded in the CVP-1 stream was dropped "
+                                "by the conversion",
+                            "enable imp_mem-regs (and imp_base-update for "
+                            "writeback bases)");
+            }
+        }
+
+        // Anything written that CVP-1 never listed is spurious: the
+        // original converter inserts X0 into destination-less memory
+        // instructions, fabricating dependencies through X0.
+        for (unsigned i = 0; i < u.numUops; ++i) {
+            for (RegId d : u.uops[i].destRegs) {
+                if (d == 0 || isSpecialReg(d))
+                    continue;
+                if (!rec.writesReg(
+                        static_cast<RegId>(mapBack(d))))
+                    sink.report(
+                        info(), u.index, rec.pc,
+                        rec.numDst == 0
+                            ? "X0 inserted as destination of a "
+                              "destination-less memory instruction"
+                            : "spurious destination register " +
+                                  std::to_string(d) +
+                                  " absent from the CVP-1 record",
+                        "enable imp_mem-regs");
+            }
+        }
+    }
+
+  private:
+    /** Invert Cvp2ChampSim::mapReg (total on its image). */
+    static unsigned
+    mapBack(RegId m)
+    {
+        switch (m) {
+          case 201: return champsim::kStackPointer - 1;
+          case 202: return champsim::kFlags - 1;
+          case 203: return champsim::kInstructionPointer - 1;
+          case 204: return champsim::kOtherReg - 1;
+          default: return static_cast<unsigned>(m) - 1;
+        }
+    }
+};
+
+// ---------------------------------------------------------------------
+// R2: base-updates must be split into ALU + mem µops (section 3.1.2).
+
+const RuleInfo kBaseUpdateSplitInfo = {
+    "base-update-split",
+    "base-updating accesses are split into an ALU µop owning the base "
+    "writeback and a memory µop, ordered by pre/post indexing",
+    "paper section 3.1.2 (imp_base-update)",
+    Severity::Error,
+    true,
+};
+
+class BaseUpdateSplitRule : public Rule
+{
+  public:
+    BaseUpdateSplitRule() : Rule(kBaseUpdateSplitInfo) {}
+
+    void
+    check(const LintUnit &u, DiagnosticSink &sink) override
+    {
+        if (!u.cvp || !isMem(u.cvp->cls))
+            return;
+        const CvpRecord &rec = *u.cvp;
+        BaseUpdateInfo bu = Cvp2ChampSim::inferBaseUpdate(rec);
+
+        if (bu.kind == BaseUpdateKind::None) {
+            if (u.numUops > 1)
+                sink.report(info(), u.index, rec.pc,
+                            "access without an inferable writeback was "
+                            "split into " + std::to_string(u.numUops) +
+                                " µops");
+            return;
+        }
+
+        RegId base = Cvp2ChampSim::mapReg(bu.baseReg);
+        if (u.numUops < 2) {
+            sink.report(info(), u.index, rec.pc,
+                        std::string(bu.kind == BaseUpdateKind::Pre
+                                        ? "pre" : "post") +
+                            "-index base-update not split: the base "
+                            "register resolves at memory latency",
+                        "enable imp_base-update");
+            return;
+        }
+
+        // Pre-index: ALU first (update-then-access); post-index: memory
+        // first.  The ALU µop must own the base def and read the old
+        // base; the memory µop must not also write it.
+        const ChampSimRecord &first = u.uops[0];
+        const ChampSimRecord &second = u.uops[1];
+        const ChampSimRecord &alu =
+            bu.kind == BaseUpdateKind::Pre ? first : second;
+        const ChampSimRecord &mem =
+            bu.kind == BaseUpdateKind::Pre ? second : first;
+
+        if (mem.numSrcMem() + mem.numDstMem() == 0 ||
+            alu.numSrcMem() + alu.numDstMem() != 0) {
+            sink.report(info(), u.index, rec.pc,
+                        std::string("split µops are mis-ordered for a ") +
+                            (bu.kind == BaseUpdateKind::Pre ? "pre"
+                                                            : "post") +
+                            "-index access");
+            return;
+        }
+        if (!alu.writesReg(base) || !alu.readsReg(base))
+            sink.report(info(), u.index, rec.pc,
+                        "split ALU µop does not read+write the base "
+                        "register " + std::to_string(base));
+        if (mem.writesReg(base))
+            sink.report(info(), u.index, rec.pc,
+                        "memory µop of a split still writes the base "
+                        "register " + std::to_string(base));
+    }
+};
+
+// ---------------------------------------------------------------------
+// R3: memory footprint -- second cacheline + DC ZVA alignment (3.1.3).
+
+const RuleInfo kMemFootprintInfo = {
+    "mem-footprint",
+    "line-crossing accesses carry the second cacheline address and "
+    "DC ZVA stores are line-aligned",
+    "paper section 3.1.3 (imp_mem-footprint)",
+    Severity::Error,
+    true,
+};
+
+class MemFootprintRule : public Rule
+{
+  public:
+    MemFootprintRule() : Rule(kMemFootprintInfo) {}
+
+    void
+    check(const LintUnit &u, DiagnosticSink &sink) override
+    {
+        if (!u.cvp || !isMem(u.cvp->cls))
+            return;
+        const CvpRecord &rec = *u.cvp;
+        const bool is_load = rec.cls == InstClass::Load;
+
+        // Find the memory µop of the unit.
+        const ChampSimRecord *mem = nullptr;
+        for (unsigned i = 0; i < u.numUops; ++i) {
+            const ChampSimRecord &cs = u.uops[i];
+            if ((is_load && cs.isLoad()) || (!is_load && cs.isStore())) {
+                mem = &cs;
+                break;
+            }
+        }
+        if (!mem) {
+            sink.report(info(), u.index, rec.pc,
+                        "memory instruction converted without a memory "
+                        "operand");
+            return;
+        }
+        Addr ea = is_load ? mem->srcMem[0] : mem->destMem[0];
+
+        // DC ZVA (a whole-line store) is line-aligned by definition.
+        if (!is_load && rec.accessSize >= kLineBytes &&
+            ea != lineAddr(ea))
+            sink.report(info(), u.index, rec.pc,
+                        "DC ZVA store address " + hex(ea) +
+                            " is not cacheline-aligned",
+                        "enable imp_mem-footprint");
+
+        // Transfer size, computed exactly as the improved converter does:
+        // bytes-per-register times memory-populated registers.
+        BaseUpdateInfo bu = Cvp2ChampSim::inferBaseUpdate(rec);
+        unsigned regs;
+        if (is_load) {
+            regs = rec.numDst;
+            if (bu.kind != BaseUpdateKind::None && regs > 0)
+                --regs;
+        } else {
+            regs = rec.numSrc > 1 ? rec.numSrc - 1 : 1;
+            if (regs > 2)
+                regs = 2;
+        }
+        if (regs == 0)
+            regs = 1;
+        std::uint64_t total =
+            static_cast<std::uint64_t>(rec.accessSize) * regs;
+        if (total == 0)
+            return;
+
+        unsigned addrs = is_load ? mem->numSrcMem() : mem->numDstMem();
+        bool crosses = lineNum(ea) != lineNum(ea + total - 1);
+        if (crosses && addrs < 2) {
+            sink.report(info(), u.index, rec.pc,
+                        hex(total) + "-byte access at " + hex(ea) +
+                            " crosses into line " +
+                            hex(lineAddr(ea) + kLineBytes) +
+                            " but carries one address",
+                        "enable imp_mem-footprint");
+        } else if (crosses && addrs >= 2) {
+            Addr second = is_load ? mem->srcMem[1] : mem->destMem[1];
+            if (second != lineAddr(ea) + kLineBytes)
+                sink.report(info(), u.index, rec.pc,
+                            "second address " + hex(second) +
+                                " is not the next cacheline of " + hex(ea));
+        } else if (!crosses && addrs > 1) {
+            sink.report(info(), u.index, rec.pc,
+                        "access within one line carries " +
+                            std::to_string(addrs) + " addresses");
+        }
+    }
+};
+
+// ---------------------------------------------------------------------
+// R4: X30 read+write branches are calls, not returns (section 3.2.1).
+
+const RuleInfo kCallReturnInfo = {
+    "call-return-class",
+    "X30-reading branches that also write deduce as indirect calls; "
+    "only write-nothing X30 readers deduce as returns",
+    "paper section 3.2.1 (imp_call-stack)",
+    Severity::Error,
+    true,
+};
+
+class CallReturnRule : public Rule
+{
+  public:
+    CallReturnRule() : Rule(kCallReturnInfo) {}
+
+    void
+    check(const LintUnit &u, DiagnosticSink &sink) override
+    {
+        if (!u.cvp || u.cvp->cls != InstClass::UncondIndirectBranch)
+            return;
+        const CvpRecord &rec = *u.cvp;
+        if (u.numUops == 0)
+            return;
+        BranchType t =
+            deduceBranchType(u.uops[0], DeductionRules::Patched);
+
+        const bool reads_x30 = rec.readsReg(aarch64::kLinkReg);
+        if (reads_x30 && rec.numDst > 0 && t != BranchType::IndirectCall)
+            sink.report(info(), u.index, rec.pc,
+                        std::string("X30 read+write branch (BLR X30) "
+                                    "deduces as ") +
+                            branchTypeName(t) + " instead of IndirectCall",
+                        "enable imp_call-stack");
+        else if (reads_x30 && rec.numDst == 0 && t != BranchType::Return)
+            sink.report(info(), u.index, rec.pc,
+                        std::string("X30-reading branch that writes "
+                                    "nothing (RET) deduces as ") +
+                            branchTypeName(t) + " instead of Return");
+        else if (!reads_x30 && rec.writesReg(aarch64::kLinkReg) &&
+                 t != BranchType::IndirectCall)
+            sink.report(info(), u.index, rec.pc,
+                        std::string("X30-writing indirect branch (BLR) "
+                                    "deduces as ") +
+                            branchTypeName(t) + " instead of IndirectCall");
+    }
+};
+
+// ---------------------------------------------------------------------
+// R5: branch source registers preserved + deduction-consistent (3.2.2).
+
+const RuleInfo kBranchSrcRegsInfo = {
+    "branch-src-regs",
+    "conditional/indirect branch source registers survive conversion "
+    "and the patched deduction agrees with the CVP-1 class",
+    "paper section 3.2.2 (imp_branch-regs)",
+    Severity::Error,
+    true,
+};
+
+class BranchSrcRegsRule : public Rule
+{
+  public:
+    BranchSrcRegsRule() : Rule(kBranchSrcRegsInfo) {}
+
+    void
+    check(const LintUnit &u, DiagnosticSink &sink) override
+    {
+        if (!u.cvp || u.numUops == 0)
+            return;
+        const CvpRecord &rec = *u.cvp;
+        if (rec.cls != InstClass::CondBranch &&
+            rec.cls != InstClass::UncondIndirectBranch)
+            return;
+        // Returns drop X30 by design: ChampSim models them through the
+        // stack pointer (the RAS idiom), not the link register.
+        const bool is_return = rec.cls == InstClass::UncondIndirectBranch &&
+                               rec.readsReg(aarch64::kLinkReg) &&
+                               rec.numDst == 0;
+
+        if (rec.numSrc > 0 && !is_return) {
+            bool preserved = false;
+            for (unsigned i = 0; i < rec.numSrc && !preserved; ++i)
+                preserved = unitReads(u, Cvp2ChampSim::mapReg(rec.src[i]));
+            if (!preserved) {
+                if (unitReads(u, champsim::kOtherReg))
+                    sink.report(info(), u.index, rec.pc,
+                                "branch source registers dropped and "
+                                "replaced by the X56 scratch register",
+                                "enable imp_branch-regs");
+                else if (rec.cls == InstClass::CondBranch &&
+                         unitReads(u, champsim::kFlags))
+                    sink.report(info(), u.index, rec.pc,
+                                "conditional's source registers dropped "
+                                "and replaced by the flags register",
+                                "enable imp_branch-regs");
+                else
+                    sink.report(info(), u.index, rec.pc,
+                                "branch source registers absent from the "
+                                "converted record",
+                                "enable imp_branch-regs");
+            }
+        }
+
+        // Class consistency under the paper's patched deduction rules.
+        BranchType t =
+            deduceBranchType(u.uops[0], DeductionRules::Patched);
+        bool consistent =
+            rec.cls == InstClass::CondBranch
+                ? t == BranchType::Conditional
+                : (t == BranchType::IndirectJump ||
+                   t == BranchType::IndirectCall || t == BranchType::Return);
+        if (!consistent)
+            sink.report(info(), u.index, rec.pc,
+                        std::string(instClassName(rec.cls)) +
+                            " deduces as " + branchTypeName(t) +
+                            " under the patched rules");
+    }
+};
+
+// ---------------------------------------------------------------------
+// R6: destination-less ALU/FP must write the flag register (3.2.3).
+
+const RuleInfo kFlagDestInfo = {
+    "flag-dest",
+    "destination-less ALU/FP instructions (compares) write the flag "
+    "register so flag-reading conditionals have a producer",
+    "paper section 3.2.3 (imp_flag-regs)",
+    Severity::Error,
+    true,
+};
+
+class FlagDestRule : public Rule
+{
+  public:
+    FlagDestRule() : Rule(kFlagDestInfo) {}
+
+    void
+    check(const LintUnit &u, DiagnosticSink &sink) override
+    {
+        if (!u.cvp)
+            return;
+        const CvpRecord &rec = *u.cvp;
+        if (rec.cls != InstClass::Alu && rec.cls != InstClass::SlowAlu &&
+            rec.cls != InstClass::Fp)
+            return;
+        if (rec.numDst != 0)
+            return;
+        if (!unitWrites(u, champsim::kFlags))
+            sink.report(info(), u.index, rec.pc,
+                        "destination-less " +
+                            std::string(instClassName(rec.cls)) +
+                            " leaves the flag register unwritten: "
+                            "flag-reading conditionals lose their producer",
+                        "enable imp_flag-regs");
+    }
+};
+
+// ---------------------------------------------------------------------
+// Structural: taken-branch target consistency (paired).
+
+const RuleInfo kTakenTargetInfo = {
+    "taken-target",
+    "the record after a taken branch sits at the recorded target",
+    "structural (trace continuity)",
+    Severity::Error,
+    true,
+};
+
+class TakenTargetRule : public Rule
+{
+  public:
+    TakenTargetRule() : Rule(kTakenTargetInfo) {}
+
+    void
+    check(const LintUnit &u, DiagnosticSink &sink) override
+    {
+        if (!u.cvp)
+            return;
+        if (pending_ && u.numUops > 0 && u.uops[0].ip != target_)
+            sink.report(info(), pendingIndex_, pendingPc_,
+                        "taken branch targets " + hex(target_) +
+                            " but the next converted record sits at " +
+                            hex(u.uops[0].ip));
+        pending_ = isBranch(u.cvp->cls) && u.cvp->taken &&
+                   u.cvp->target != 0;
+        if (pending_) {
+            target_ = u.cvp->target;
+            pendingIndex_ = u.index;
+            pendingPc_ = u.cvp->pc;
+        }
+    }
+
+  private:
+    bool pending_ = false;
+    Addr target_ = 0;
+    std::uint64_t pendingIndex_ = 0;
+    Addr pendingPc_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Structural: def-before-use across the stream (paired).
+
+const RuleInfo kDefBeforeUseInfo = {
+    "def-before-use",
+    "registers defined in the CVP-1 stream are defined in the converted "
+    "stream before the converted stream reads them",
+    "structural (dropped-dependency witness)",
+    Severity::Error,
+    true,
+};
+
+class DefBeforeUseRule : public Rule
+{
+  public:
+    DefBeforeUseRule() : Rule(kDefBeforeUseInfo) {}
+
+    void
+    check(const LintUnit &u, DiagnosticSink &sink) override
+    {
+        if (!u.cvp)
+            return;
+        for (unsigned i = 0; i < u.numUops; ++i) {
+            const ChampSimRecord &cs = u.uops[i];
+            for (RegId r : cs.srcRegs) {
+                if (r == 0 || isSpecialReg(r))
+                    continue;
+                if (!csDef_[r] && cvpOnly_[r])
+                    sink.report(info(), u.index + i, cs.ip,
+                                "read of register " + std::to_string(r) +
+                                    " whose CVP-1 producer was dropped by "
+                                    "the conversion",
+                                "enable imp_mem-regs");
+            }
+            for (RegId r : cs.destRegs) {
+                if (r == 0)
+                    continue;
+                csDef_[r] = true;
+                cvpOnly_[r] = false;
+            }
+        }
+
+        // CVP defs that a correct conversion would have materialised but
+        // this unit did not become "cvp-only": later reads witness the
+        // dropped dependency.  Defs a correct conversion also loses
+        // (branch link registers, beyond-capacity list entries) are
+        // exempt.
+        std::vector<RegId> expected = expectedMaterializedDsts(*u.cvp);
+        for (unsigned i = 0; i < u.cvp->numDst; ++i) {
+            RegId m = Cvp2ChampSim::mapReg(u.cvp->dst[i]);
+            if (csDef_[m])
+                continue;
+            if (std::find(expected.begin(), expected.end(), m) !=
+                expected.end())
+                cvpOnly_[m] = true;
+        }
+    }
+
+  private:
+    std::array<bool, kRegSpace> csDef_ = {};
+    std::array<bool, kRegSpace> cvpOnly_ = {};
+};
+
+// ---------------------------------------------------------------------
+// Structural: PC continuity within fall-through runs.
+
+const RuleInfo kPcTeleportInfo = {
+    "pc-teleport",
+    "PCs never step backwards or teleport across a fall-through edge "
+    "(only taken branches move the PC freely)",
+    "structural (basic-block continuity)",
+    Severity::Warn,
+    false,
+};
+
+class PcTeleportRule : public Rule
+{
+  public:
+    explicit PcTeleportRule(const LintLimits &limits)
+        : Rule(kPcTeleportInfo), maxGap_(limits.maxFallthroughGap)
+    {}
+
+    void
+    check(const LintUnit &u, DiagnosticSink &sink) override
+    {
+        for (unsigned i = 0; i < u.numUops; ++i) {
+            const ChampSimRecord &cs = u.uops[i];
+            if (havePrev_ && !(prevBranch_ && prevTaken_)) {
+                if (cs.ip <= prevIp_)
+                    sink.report(info(), u.index + i, cs.ip,
+                                "PC steps backwards across a "
+                                "fall-through edge (from " +
+                                    hex(prevIp_) + ")");
+                else if (cs.ip - prevIp_ > maxGap_)
+                    sink.report(info(), u.index + i, cs.ip,
+                                "PC teleports " + hex(cs.ip - prevIp_) +
+                                    " bytes forward across a "
+                                    "fall-through edge (from " +
+                                    hex(prevIp_) + ")");
+            }
+            havePrev_ = true;
+            prevIp_ = cs.ip;
+            prevBranch_ = cs.isBranch != 0;
+            prevTaken_ = cs.branchTaken != 0;
+        }
+    }
+
+  private:
+    std::uint64_t maxGap_;
+    bool havePrev_ = false;
+    Addr prevIp_ = 0;
+    bool prevBranch_ = false;
+    bool prevTaken_ = false;
+};
+
+// ---------------------------------------------------------------------
+// Structural: return-address-stack balance.
+
+const RuleInfo kRasBalanceInfo = {
+    "ras-balance",
+    "deduced returns never outnumber deduced calls beyond the configured "
+    "slack (mid-program captures may unwind a few pre-trace frames)",
+    "structural (call/return misclassification witness)",
+    Severity::Error,
+    false,
+};
+
+class RasBalanceRule : public Rule
+{
+  public:
+    explicit RasBalanceRule(const LintLimits &limits)
+        : Rule(kRasBalanceInfo), slack_(limits.rasSlack)
+    {}
+
+    void
+    check(const LintUnit &u, DiagnosticSink &sink) override
+    {
+        (void)sink;
+        for (unsigned i = 0; i < u.numUops; ++i) {
+            const ChampSimRecord &cs = u.uops[i];
+            if (!cs.isBranch)
+                continue;
+            switch (deduceBranchType(cs, DeductionRules::Patched)) {
+              case BranchType::DirectCall:
+              case BranchType::IndirectCall:
+                ++depth_;
+                ++calls_;
+                break;
+              case BranchType::Return:
+                ++returns_;
+                if (depth_ > 0) {
+                    --depth_;
+                } else {
+                    ++unmatched_;
+                    if (unmatched_ == 1) {
+                        firstIndex_ = u.index + i;
+                        firstPc_ = cs.ip;
+                    }
+                }
+                break;
+              default:
+                break;
+            }
+        }
+    }
+
+    void
+    finish(DiagnosticSink &sink) override
+    {
+        if (unmatched_ > slack_)
+            sink.report(info(), firstIndex_, firstPc_,
+                        std::to_string(unmatched_) +
+                            " returns deduced with no matching call (" +
+                            std::to_string(calls_) + " calls / " +
+                            std::to_string(returns_) +
+                            " returns in stream, slack " +
+                            std::to_string(slack_) + ")",
+                        "enable imp_call-stack");
+    }
+
+  private:
+    std::uint64_t slack_;
+    std::uint64_t depth_ = 0;
+    std::uint64_t calls_ = 0;
+    std::uint64_t returns_ = 0;
+    std::uint64_t unmatched_ = 0;
+    std::uint64_t firstIndex_ = 0;
+    Addr firstPc_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Structural: every branch record must deduce; non-branches must not
+// masquerade as branches.
+
+const RuleInfo kBranchDeduceInfo = {
+    "branch-deduce",
+    "branch records deduce to a branch type under the patched rules; "
+    "non-branches never touch the IP or X56 typing registers",
+    "structural (deducibility)",
+    Severity::Error,
+    false,
+};
+
+class BranchDeduceRule : public Rule
+{
+  public:
+    BranchDeduceRule() : Rule(kBranchDeduceInfo) {}
+
+    void
+    check(const LintUnit &u, DiagnosticSink &sink) override
+    {
+        for (unsigned i = 0; i < u.numUops; ++i) {
+            const ChampSimRecord &cs = u.uops[i];
+            if (cs.isBranch > 1 || cs.branchTaken > 1)
+                sink.report(info(), u.index + i, cs.ip,
+                            "non-boolean is_branch/taken flag bytes");
+            if (cs.isBranch) {
+                if (deduceBranchType(cs, DeductionRules::Patched) ==
+                    BranchType::NotBranch)
+                    sink.report(info(), u.index + i, cs.ip,
+                                "branch record whose register usage "
+                                "deduces to NotBranch (missing IP "
+                                "destination)");
+            } else {
+                if (cs.writesReg(champsim::kInstructionPointer) ||
+                    cs.readsReg(champsim::kInstructionPointer))
+                    sink.report(info(), u.index + i, cs.ip,
+                                "non-branch touches the instruction-"
+                                "pointer register");
+                if (cs.readsReg(champsim::kOtherReg))
+                    sink.report(info(), u.index + i, cs.ip,
+                                "non-branch reads the X56 branch-typing "
+                                "register");
+            }
+        }
+    }
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// Registry.
+
+const RuleInfo &
+alignRuleInfo()
+{
+    static const RuleInfo info = {
+        "align",
+        "every CVP-1 record aligns with the converted µops at its PC",
+        "structural (conversion alignment)",
+        Severity::Error,
+        true,
+    };
+    return info;
+}
+
+const std::vector<RuleInfo> &
+ruleCatalog()
+{
+    static const std::vector<RuleInfo> catalog = {
+        kMemDestRegsInfo,   kBaseUpdateSplitInfo, kMemFootprintInfo,
+        kCallReturnInfo,    kBranchSrcRegsInfo,   kFlagDestInfo,
+        kTakenTargetInfo,   kDefBeforeUseInfo,    kPcTeleportInfo,
+        kRasBalanceInfo,    kBranchDeduceInfo,    alignRuleInfo(),
+    };
+    return catalog;
+}
+
+const RuleInfo *
+findRule(const std::string &id)
+{
+    for (const RuleInfo &info : ruleCatalog())
+        if (id == info.id)
+            return &info;
+    return nullptr;
+}
+
+std::vector<std::unique_ptr<Rule>>
+makeRules(const std::vector<std::string> &enabled, const LintLimits &limits)
+{
+    auto wanted = [&](const char *id) {
+        if (enabled.empty())
+            return true;
+        return std::find(enabled.begin(), enabled.end(), id) !=
+               enabled.end();
+    };
+
+    std::vector<std::unique_ptr<Rule>> rules;
+    if (wanted(kMemDestRegsInfo.id))
+        rules.push_back(std::make_unique<MemDestRegsRule>());
+    if (wanted(kBaseUpdateSplitInfo.id))
+        rules.push_back(std::make_unique<BaseUpdateSplitRule>());
+    if (wanted(kMemFootprintInfo.id))
+        rules.push_back(std::make_unique<MemFootprintRule>());
+    if (wanted(kCallReturnInfo.id))
+        rules.push_back(std::make_unique<CallReturnRule>());
+    if (wanted(kBranchSrcRegsInfo.id))
+        rules.push_back(std::make_unique<BranchSrcRegsRule>());
+    if (wanted(kFlagDestInfo.id))
+        rules.push_back(std::make_unique<FlagDestRule>());
+    if (wanted(kTakenTargetInfo.id))
+        rules.push_back(std::make_unique<TakenTargetRule>());
+    if (wanted(kDefBeforeUseInfo.id))
+        rules.push_back(std::make_unique<DefBeforeUseRule>());
+    if (wanted(kPcTeleportInfo.id))
+        rules.push_back(std::make_unique<PcTeleportRule>(limits));
+    if (wanted(kRasBalanceInfo.id))
+        rules.push_back(std::make_unique<RasBalanceRule>(limits));
+    if (wanted(kBranchDeduceInfo.id))
+        rules.push_back(std::make_unique<BranchDeduceRule>());
+    return rules;
+}
+
+} // namespace lint
+} // namespace trb

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "convert/improvements.hh"
+#include "lint/lint.hh"
 #include "obs/profile.hh"
 
 namespace trb
@@ -58,6 +60,11 @@ simulateCvp(const CvpTrace &cvp, ImprovementSet imps,
         timer.setItems(cvp.size());
         return conv.convert(cvp);
     }();
+    if (lint::lintEnabledFromEnv()) {
+        obs::ScopeTimer timer("lint");
+        timer.setItems(trace.size());
+        lint::maybeLintConverted(improvementSetName(imps), cvp, trace);
+    }
     return simulateChampSim(trace, params, warmupFraction, ipref);
 }
 

@@ -565,8 +565,9 @@ TEST_P(SuiteConversion, WellFormedUnderAllRuleSets)
             EXPECT_FALSE(cs.writesReg(champsim::kInstructionPointer));
         }
         // The X56 "reads other" marker is a branch-typing device only.
-        if (!cs.isBranch)
+        if (!cs.isBranch) {
             EXPECT_FALSE(cs.readsReg(champsim::kOtherReg));
+        }
     }
     EXPECT_GT(branches, 1000u);
 }

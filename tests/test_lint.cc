@@ -1,0 +1,663 @@
+/**
+ * @file
+ * Tests for trb::lint: every rule is tripped exactly once by a hand-built
+ * adversarial unit (golden diagnostics), fully improved conversions of
+ * whole synthetic traces are clean, and disabling any single converter
+ * improvement trips the rule that encodes it.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "convert/cvp2champsim.hh"
+#include "lint/lint.hh"
+#include "synth/generator.hh"
+#include "synth/suites.hh"
+
+namespace trb
+{
+namespace
+{
+
+using lint::LintOptions;
+using lint::LintReport;
+using lint::Severity;
+
+// ---------------------------------------------------------------------
+// CVP-1 record factories (the paper's running examples).
+
+/** LDR X1, [X0, #12]! -- pre-index writeback load. */
+CvpRecord
+ldrPreIndex(Addr pc = 0x1000, Addr base = 0x8000)
+{
+    CvpRecord rec;
+    rec.pc = pc;
+    rec.cls = InstClass::Load;
+    rec.ea = base + 12;
+    rec.accessSize = 8;
+    rec.addSrc(0);
+    rec.addDst(0, base + 12);
+    rec.addDst(1, 0xdeadbeef);
+    return rec;
+}
+
+/** LDP X1, X2, [X0] -- load pair, no writeback. */
+CvpRecord
+ldpNoWb(Addr pc = 0x1000, Addr base = 0x8000)
+{
+    CvpRecord rec;
+    rec.pc = pc;
+    rec.cls = InstClass::Load;
+    rec.ea = base;
+    rec.accessSize = 8;
+    rec.addSrc(0);
+    rec.addDst(1, 0x1111);
+    rec.addDst(2, 0x2222);
+    return rec;
+}
+
+/** PRFM [X0] -- prefetch load, no destination register. */
+CvpRecord
+prefetchLoad(Addr pc = 0x1000)
+{
+    CvpRecord rec;
+    rec.pc = pc;
+    rec.cls = InstClass::Load;
+    rec.ea = 0x9000;
+    rec.accessSize = 8;
+    rec.addSrc(0);
+    return rec;
+}
+
+/** CMP X1, X2 -- ALU with no destination (sets flags). */
+CvpRecord
+cmpRecord(Addr pc = 0x1000)
+{
+    CvpRecord rec;
+    rec.pc = pc;
+    rec.cls = InstClass::Alu;
+    rec.addSrc(1);
+    rec.addSrc(2);
+    return rec;
+}
+
+/** Plain ALU: ADD X3, X1, X2. */
+CvpRecord
+aluRecord(Addr pc, RegId dst, RegId s0, RegId s1)
+{
+    CvpRecord rec;
+    rec.pc = pc;
+    rec.cls = InstClass::Alu;
+    rec.addSrc(s0);
+    rec.addSrc(s1);
+    rec.addDst(dst, 0x42);
+    return rec;
+}
+
+/** CBZ X5, target. */
+CvpRecord
+cbzRecord(Addr pc = 0x1000, bool taken = false)
+{
+    CvpRecord rec;
+    rec.pc = pc;
+    rec.cls = InstClass::CondBranch;
+    rec.taken = taken;
+    rec.target = 0x2000;
+    rec.addSrc(5);
+    return rec;
+}
+
+/** BLR X30 -- indirect call through the link register. */
+CvpRecord
+blrX30(Addr pc = 0x1000)
+{
+    CvpRecord rec;
+    rec.pc = pc;
+    rec.cls = InstClass::UncondIndirectBranch;
+    rec.taken = true;
+    rec.target = 0x3000;
+    rec.addSrc(aarch64::kLinkReg);
+    rec.addDst(aarch64::kLinkReg, pc + 4);
+    return rec;
+}
+
+/** RET -- reads X30, writes nothing. */
+CvpRecord
+retRecord(Addr pc = 0x1000, Addr target = 0x4000)
+{
+    CvpRecord rec;
+    rec.pc = pc;
+    rec.cls = InstClass::UncondIndirectBranch;
+    rec.taken = true;
+    rec.target = target;
+    rec.addSrc(aarch64::kLinkReg);
+    return rec;
+}
+
+/** Lint one CVP record against its conversion under @p imps. */
+LintReport
+lintOneWith(ImprovementSet imps, const CvpRecord &rec,
+            const LintOptions &opts = {})
+{
+    Cvp2ChampSim conv(imps);
+    ChampSimTrace out;
+    conv.convertOne(rec, out);
+    lint::Linter linter(opts);
+    linter.add(rec, out.data(), static_cast<unsigned>(out.size()));
+    return linter.finish();
+}
+
+/** The diagnostics a report stored for one rule. */
+std::vector<lint::Diagnostic>
+diagsFor(const LintReport &report, const std::string &rule)
+{
+    std::vector<lint::Diagnostic> out;
+    for (const auto &d : report.diagnostics)
+        if (d.rule == rule)
+            out.push_back(d);
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// Catalog sanity.
+
+TEST(LintCatalog, RulesAreWellFormed)
+{
+    const auto &catalog = lint::ruleCatalog();
+    EXPECT_GE(catalog.size(), 12u);
+    for (const auto &info : catalog) {
+        EXPECT_NE(info.id, nullptr);
+        EXPECT_NE(lint::findRule(info.id), nullptr);
+        EXPECT_STRNE(info.summary, "");
+        EXPECT_STRNE(info.citation, "");
+    }
+    EXPECT_EQ(lint::findRule("no-such-rule"), nullptr);
+}
+
+TEST(LintCatalog, ResolveRulesRejectsUnknownIds)
+{
+    LintOptions opts;
+    opts.disable = {"definitely-not-a-rule"};
+    std::vector<std::string> resolved;
+    std::string bad;
+    EXPECT_FALSE(opts.resolveRules(resolved, bad));
+    EXPECT_EQ(bad, "definitely-not-a-rule");
+
+    opts.disable = {"flag-dest"};
+    ASSERT_TRUE(opts.resolveRules(resolved, bad));
+    for (const auto &id : resolved)
+        EXPECT_NE(id, "flag-dest");
+}
+
+// ---------------------------------------------------------------------
+// R1 mem-dest-regs (paper 3.1.1).
+
+TEST(LintRules, MemDestRegsCatchesInsertedX0)
+{
+    LintReport report = lintOneWith(kImpNone, prefetchLoad());
+    auto diags = diagsFor(report, "mem-dest-regs");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].severity, Severity::Error);
+    EXPECT_EQ(diags[0].pc, 0x1000u);
+    EXPECT_NE(diags[0].message.find("X0 inserted"), std::string::npos);
+    EXPECT_NE(diags[0].fixHint.find("imp_mem-regs"), std::string::npos);
+}
+
+TEST(LintRules, MemDestRegsCatchesDroppedDataRegister)
+{
+    // The original converter keeps only the first destination of LDP.
+    LintReport report = lintOneWith(kImpNone, ldpNoWb());
+    auto diags = diagsFor(report, "mem-dest-regs");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_NE(diags[0].message.find("dropped"), std::string::npos);
+}
+
+TEST(LintRules, MemDestRegsCleanWhenImproved)
+{
+    EXPECT_EQ(lintOneWith(kAllImps, prefetchLoad()).countFor("mem-dest-regs"),
+              0u);
+    EXPECT_EQ(lintOneWith(kAllImps, ldpNoWb()).countFor("mem-dest-regs"),
+              0u);
+}
+
+// ---------------------------------------------------------------------
+// R2 base-update-split (paper 3.1.2).
+
+TEST(LintRules, BaseUpdateSplitCatchesUnsplitWriteback)
+{
+    LintReport report = lintOneWith(kImpNone, ldrPreIndex());
+    auto diags = diagsFor(report, "base-update-split");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_NE(diags[0].message.find("not split"), std::string::npos);
+    EXPECT_NE(diags[0].fixHint.find("imp_base-update"), std::string::npos);
+}
+
+TEST(LintRules, BaseUpdateSplitCatchesMisorderedSplit)
+{
+    // Convert correctly, then swap the two µops: pre-index must be
+    // ALU-then-memory.
+    CvpRecord rec = ldrPreIndex();
+    Cvp2ChampSim conv(kAllImps);
+    ChampSimTrace out;
+    conv.convertOne(rec, out);
+    ASSERT_EQ(out.size(), 2u);
+    std::swap(out[0], out[1]);
+
+    lint::Linter linter;
+    linter.add(rec, out.data(), 2);
+    LintReport report = linter.finish();
+    ASSERT_EQ(report.countFor("base-update-split"), 1u);
+    EXPECT_NE(diagsFor(report, "base-update-split")[0].message.find(
+                  "mis-ordered"),
+              std::string::npos);
+}
+
+TEST(LintRules, BaseUpdateSplitCleanWhenImproved)
+{
+    EXPECT_EQ(
+        lintOneWith(kAllImps, ldrPreIndex()).countFor("base-update-split"),
+        0u);
+}
+
+// ---------------------------------------------------------------------
+// R3 mem-footprint (paper 3.1.3).
+
+TEST(LintRules, MemFootprintCatchesMissingSecondLine)
+{
+    // 8-byte load at line offset 60: crosses into the next cacheline.
+    CvpRecord rec;
+    rec.pc = 0x1000;
+    rec.cls = InstClass::Load;
+    rec.ea = 0x803c;
+    rec.accessSize = 8;
+    rec.addSrc(0);
+    rec.addDst(1, 0x1111);
+
+    LintReport report = lintOneWith(kImpNone, rec);
+    auto diags = diagsFor(report, "mem-footprint");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_NE(diags[0].message.find("crosses"), std::string::npos);
+    EXPECT_EQ(lintOneWith(kAllImps, rec).countFor("mem-footprint"), 0u);
+}
+
+TEST(LintRules, MemFootprintCatchesUnalignedZva)
+{
+    // DC ZVA: a 64-byte store the original converter leaves unaligned.
+    CvpRecord rec;
+    rec.pc = 0x1000;
+    rec.cls = InstClass::Store;
+    rec.ea = 0x8010;
+    rec.accessSize = 64;
+    rec.addSrc(0);
+
+    LintReport report = lintOneWith(kImpNone, rec);
+    auto diags = diagsFor(report, "mem-footprint");
+    ASSERT_GE(diags.size(), 1u);
+    EXPECT_NE(diags[0].message.find("not cacheline-aligned"),
+              std::string::npos);
+    EXPECT_EQ(lintOneWith(kAllImps, rec).countFor("mem-footprint"), 0u);
+}
+
+// ---------------------------------------------------------------------
+// R4 call-return-class (paper 3.2.1).
+
+TEST(LintRules, CallReturnCatchesBlrX30AsReturn)
+{
+    LintReport report = lintOneWith(kImpNone, blrX30());
+    auto diags = diagsFor(report, "call-return-class");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_NE(diags[0].message.find("IndirectCall"), std::string::npos);
+    EXPECT_NE(diags[0].fixHint.find("imp_call-stack"), std::string::npos);
+}
+
+TEST(LintRules, CallReturnCleanWhenImproved)
+{
+    EXPECT_EQ(
+        lintOneWith(kAllImps, blrX30()).countFor("call-return-class"), 0u);
+    EXPECT_EQ(
+        lintOneWith(kAllImps, retRecord()).countFor("call-return-class"),
+        0u);
+}
+
+// ---------------------------------------------------------------------
+// R5 branch-src-regs (paper 3.2.2).
+
+TEST(LintRules, BranchSrcRegsCatchesFlagSubstitution)
+{
+    // The original converter replaces a conditional's GPR sources with
+    // the flags register.
+    LintReport report = lintOneWith(kImpNone, cbzRecord());
+    auto diags = diagsFor(report, "branch-src-regs");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_NE(diags[0].message.find("flags register"), std::string::npos);
+    EXPECT_EQ(
+        lintOneWith(kAllImps, cbzRecord()).countFor("branch-src-regs"),
+        0u);
+}
+
+TEST(LintRules, BranchSrcRegsCatchesX56Substitution)
+{
+    // BR X7: an indirect jump whose GPR source becomes the X56 scratch
+    // register under the original converter.
+    CvpRecord rec;
+    rec.pc = 0x1000;
+    rec.cls = InstClass::UncondIndirectBranch;
+    rec.taken = true;
+    rec.target = 0x3000;
+    rec.addSrc(7);
+
+    LintReport report = lintOneWith(kImpNone, rec);
+    auto diags = diagsFor(report, "branch-src-regs");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_NE(diags[0].message.find("X56"), std::string::npos);
+    EXPECT_EQ(lintOneWith(kAllImps, rec).countFor("branch-src-regs"), 0u);
+}
+
+// ---------------------------------------------------------------------
+// R6 flag-dest (paper 3.2.3).
+
+TEST(LintRules, FlagDestCatchesDanglingCompare)
+{
+    LintReport report = lintOneWith(kImpNone, cmpRecord());
+    auto diags = diagsFor(report, "flag-dest");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_NE(diags[0].message.find("flag register"), std::string::npos);
+    EXPECT_NE(diags[0].fixHint.find("imp_flag-regs"), std::string::npos);
+    EXPECT_EQ(lintOneWith(kAllImps, cmpRecord()).countFor("flag-dest"), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Structural rules.
+
+TEST(LintRules, TakenTargetCatchesDivergingSuccessor)
+{
+    Cvp2ChampSim conv(kAllImps);
+    CvpRecord br = cbzRecord(0x1000, true);   // taken, target 0x2000
+    CvpRecord next = aluRecord(0x3000, 3, 1, 2);
+    ChampSimTrace a, b;
+    conv.convertOne(br, a);
+    conv.convertOne(next, b);
+
+    lint::Linter linter;
+    linter.add(br, a.data(), static_cast<unsigned>(a.size()));
+    linter.add(next, b.data(), static_cast<unsigned>(b.size()));
+    LintReport report = linter.finish();
+    auto diags = diagsFor(report, "taken-target");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].pc, 0x1000u);
+    EXPECT_NE(diags[0].message.find("0x2000"), std::string::npos);
+}
+
+TEST(LintRules, DefBeforeUseCatchesReadOfDroppedProducer)
+{
+    // LDP's second destination (X2 -> champsim 3) is dropped by the
+    // original converter; a later ADD reading X2 witnesses the loss.
+    Cvp2ChampSim conv(kImpNone);
+    CvpRecord ldp = ldpNoWb(0x1000);
+    CvpRecord add = aluRecord(0x1004, 3, 2, 1);
+    ChampSimTrace a, b;
+    conv.convertOne(ldp, a);
+    conv.convertOne(add, b);
+
+    LintOptions opts;
+    opts.enable = {"def-before-use"};   // isolate from mem-dest-regs
+    lint::Linter linter(opts);
+    linter.add(ldp, a.data(), static_cast<unsigned>(a.size()));
+    linter.add(add, b.data(), static_cast<unsigned>(b.size()));
+    LintReport report = linter.finish();
+    auto diags = diagsFor(report, "def-before-use");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_NE(diags[0].message.find("dropped"), std::string::npos);
+}
+
+TEST(LintRules, PcTeleportCatchesBackwardsFallthrough)
+{
+    ChampSimRecord a, b;
+    a.ip = 0x1000;
+    b.ip = 0x900;   // backwards with no taken branch in between
+
+    lint::Linter linter;
+    linter.add(a);
+    linter.add(b);
+    LintReport report = linter.finish();
+    auto diags = diagsFor(report, "pc-teleport");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_EQ(diags[0].severity, Severity::Warn);
+    EXPECT_NE(diags[0].message.find("backwards"), std::string::npos);
+}
+
+TEST(LintRules, PcTeleportAllowsTakenBranchesAndSmallGaps)
+{
+    ChampSimRecord br;
+    br.ip = 0x1000;
+    br.isBranch = 1;
+    br.branchTaken = 1;
+    ChampSimRecord far;
+    far.ip = 0x90000;
+    ChampSimRecord near;
+    near.ip = 0x90040;   // padded fall-through gap, well under the limit
+
+    lint::Linter linter;
+    linter.add(br);
+    linter.add(far);
+    linter.add(near);
+    EXPECT_EQ(linter.finish().countFor("pc-teleport"), 0u);
+}
+
+TEST(LintRules, RasBalanceCatchesUnmatchedReturns)
+{
+    // More unmatched returns than the slack allows, no calls at all.
+    lint::LintOptions opts;
+    opts.enable = {"ras-balance"};
+    opts.limits.rasSlack = 2;
+    Cvp2ChampSim conv(kAllImps);
+    lint::Linter linter(opts);
+    for (unsigned i = 0; i < 4; ++i) {
+        CvpRecord ret = retRecord(0x1000 + 4 * i, 0x2000);
+        ChampSimTrace out;
+        conv.convertOne(ret, out);
+        linter.add(ret, out.data(), static_cast<unsigned>(out.size()));
+    }
+    LintReport report = linter.finish();
+    auto diags = diagsFor(report, "ras-balance");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_NE(diags[0].message.find("no matching call"), std::string::npos);
+}
+
+TEST(LintRules, RasBalanceToleratesSlackAndBalancedStreams)
+{
+    lint::LintOptions opts;
+    opts.limits.rasSlack = 4;
+    Cvp2ChampSim conv(kAllImps);
+    lint::Linter linter(opts);
+    for (unsigned i = 0; i < 3; ++i) {
+        CvpRecord ret = retRecord(0x1000 + 4 * i, 0x2000);
+        ChampSimTrace out;
+        conv.convertOne(ret, out);
+        linter.add(ret, out.data(), static_cast<unsigned>(out.size()));
+    }
+    EXPECT_EQ(linter.finish().countFor("ras-balance"), 0u);
+}
+
+TEST(LintRules, BranchDeduceCatchesUndeducibleBranch)
+{
+    ChampSimRecord cs;
+    cs.ip = 0x1000;
+    cs.isBranch = 1;
+    cs.branchTaken = 1;   // no IP destination: deduces NotBranch
+
+    lint::Linter linter;
+    linter.add(cs);
+    LintReport report = linter.finish();
+    auto diags = diagsFor(report, "branch-deduce");
+    ASSERT_EQ(diags.size(), 1u);
+    EXPECT_NE(diags[0].message.find("NotBranch"), std::string::npos);
+}
+
+TEST(LintRules, BranchDeduceCatchesNonBranchTouchingIp)
+{
+    ChampSimRecord cs;
+    cs.ip = 0x1000;
+    cs.addDstReg(champsim::kInstructionPointer);
+
+    lint::Linter linter;
+    linter.add(cs);
+    EXPECT_EQ(linter.finish().countFor("branch-deduce"), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Alignment pseudo-rule.
+
+TEST(LintAlign, ReportsTruncatedConversion)
+{
+    CvpTrace cvp = {aluRecord(0x1000, 3, 1, 2), aluRecord(0x1004, 4, 3, 1)};
+    Cvp2ChampSim conv(kAllImps);
+    ChampSimTrace cs;
+    conv.convertOne(cvp[0], cs);   // second record never converted
+
+    LintReport report = lint::lintConverted(cvp, cs);
+    EXPECT_GE(report.countFor("align"), 1u);
+    EXPECT_FALSE(report.clean());
+}
+
+TEST(LintAlign, ReportsOrphanUops)
+{
+    CvpTrace cvp = {aluRecord(0x1000, 3, 1, 2)};
+    Cvp2ChampSim conv(kAllImps);
+    ChampSimTrace cs;
+    conv.convertOne(cvp[0], cs);
+    ChampSimRecord orphan;
+    orphan.ip = 0x5000;
+    cs.push_back(orphan);
+
+    LintReport report = lint::lintConverted(cvp, cs);
+    EXPECT_EQ(report.countFor("align"), 1u);
+}
+
+// ---------------------------------------------------------------------
+// Whole-trace properties: clean conversions are clean, and disabling any
+// single improvement trips exactly the rule that encodes it.
+
+CvpTrace
+adversarialWorkload()
+{
+    WorkloadParams params = serverParams(7);
+    params.baseUpdateFrac = 0.1;   // plenty of writeback accesses
+    params.blrX30Frac = 0.4;       // and X30-read-write calls
+    return TraceGenerator(params).generate(30000);
+}
+
+TEST(LintWholeTrace, FullyImprovedConversionIsClean)
+{
+    CvpTrace cvp = adversarialWorkload();
+    ChampSimTrace cs = Cvp2ChampSim(kAllImps).convert(cvp);
+    LintReport report = lint::lintConverted(cvp, cs);
+    EXPECT_TRUE(report.clean())
+        << "first rule: "
+        << (report.counts.empty() ? "-" : report.counts[0].rule);
+    EXPECT_EQ(report.unitsScanned, cvp.size());
+    EXPECT_EQ(report.uopsScanned, cs.size());
+    EXPECT_TRUE(report.paired);
+}
+
+TEST(LintWholeTrace, DisablingEachImprovementTripsItsRule)
+{
+    const struct
+    {
+        ImprovementSet imp;
+        const char *rule;
+    } cases[] = {
+        {kImpMemRegs, "mem-dest-regs"},
+        {kImpBaseUpdate, "base-update-split"},
+        {kImpMemFootprint, "mem-footprint"},
+        {kImpCallStack, "call-return-class"},
+        {kImpBranchRegs, "branch-src-regs"},
+        {kImpFlagReg, "flag-dest"},
+    };
+
+    CvpTrace cvp = adversarialWorkload();
+    for (const auto &c : cases) {
+        ChampSimTrace cs = Cvp2ChampSim(kAllImps & ~c.imp).convert(cvp);
+        LintReport report = lint::lintConverted(cvp, cs);
+        EXPECT_GT(report.countFor(c.rule), 0u)
+            << "disabling " << c.rule << "'s improvement went undetected";
+    }
+}
+
+TEST(LintWholeTrace, UnimprovedConversionTripsEveryPaperRule)
+{
+    CvpTrace cvp = adversarialWorkload();
+    ChampSimTrace cs = Cvp2ChampSim(kImpNone).convert(cvp);
+    LintReport report = lint::lintConverted(cvp, cs);
+    for (const char *rule :
+         {"mem-dest-regs", "base-update-split", "mem-footprint",
+          "call-return-class", "branch-src-regs", "flag-dest"})
+        EXPECT_GT(report.countFor(rule), 0u) << rule;
+}
+
+// ---------------------------------------------------------------------
+// Options, caps and report shape.
+
+TEST(LintOptionsTest, DisableSuppressesARule)
+{
+    LintOptions opts;
+    opts.disable = {"flag-dest"};
+    LintReport report = lintOneWith(kImpNone, cmpRecord(), opts);
+    EXPECT_EQ(report.countFor("flag-dest"), 0u);
+}
+
+TEST(LintOptionsTest, EnableRestrictsToListedRules)
+{
+    LintOptions opts;
+    opts.enable = {"flag-dest"};
+    LintReport report = lintOneWith(kImpNone, prefetchLoad(), opts);
+    EXPECT_EQ(report.countFor("mem-dest-regs"), 0u);
+}
+
+TEST(LintOptionsTest, DiagnosticCapKeepsFullCounts)
+{
+    LintOptions opts;
+    opts.maxDiagnosticsPerRule = 1;
+    Cvp2ChampSim conv(kImpNone);
+    lint::Linter linter(opts);
+    std::vector<std::pair<CvpRecord, ChampSimTrace>> units;
+    for (unsigned i = 0; i < 3; ++i) {
+        units.emplace_back(cmpRecord(0x1000 + 4 * i), ChampSimTrace{});
+        conv.convertOne(units.back().first, units.back().second);
+    }
+    for (auto &[rec, out] : units)
+        linter.add(rec, out.data(), static_cast<unsigned>(out.size()));
+    LintReport report = linter.finish();
+    EXPECT_EQ(report.countFor("flag-dest"), 3u);
+    EXPECT_EQ(diagsFor(report, "flag-dest").size(), 1u);
+}
+
+TEST(LintReportTest, TextAndJsonRendering)
+{
+    LintReport report = lintOneWith(kImpNone, cmpRecord());
+    ASSERT_FALSE(report.clean());
+
+    std::ostringstream text;
+    lint::writeReportText(text, report, "unit");
+    EXPECT_NE(text.str().find("flag-dest"), std::string::npos);
+    EXPECT_NE(text.str().find("fix:"), std::string::npos);
+
+    std::ostringstream json;
+    lint::writeReportJson(json, report, "unit");
+    EXPECT_NE(json.str().find("\"name\": \"unit\""), std::string::npos);
+    EXPECT_NE(json.str().find("\"rules\": {\"flag-dest\""),
+              std::string::npos);
+    EXPECT_NE(json.str().find("\"totals\""), std::string::npos);
+    EXPECT_NE(json.str().find("\"diagnostics\""), std::string::npos);
+}
+
+TEST(LintReportTest, SeverityNames)
+{
+    EXPECT_STREQ(lint::severityName(Severity::Error), "error");
+    EXPECT_STREQ(lint::severityName(Severity::Warn), "warn");
+    EXPECT_STREQ(lint::severityName(Severity::Info), "info");
+}
+
+} // namespace
+} // namespace trb

@@ -76,12 +76,15 @@ TEST(SynthProgram, MainNeverCallable)
     SynthProgram prog = SynthProgram::build(p);
     for (const Function &fn : prog.functions) {
         for (const Block &blk : fn.blocks) {
-            if (blk.term.kind == TermKind::CallDirect)
+            if (blk.term.kind == TermKind::CallDirect) {
                 EXPECT_NE(blk.term.calleeFn, 0u);
+            }
             if (blk.term.kind == TermKind::CallIndirect ||
-                blk.term.kind == TermKind::CallIndirectX30)
-                for (auto c : blk.term.candidates)
+                blk.term.kind == TermKind::CallIndirectX30) {
+                for (auto c : blk.term.candidates) {
                     EXPECT_NE(c, 0u);
+                }
+            }
         }
     }
     EXPECT_EQ(prog.functions[0].blocks.back().term.kind, TermKind::Jump);
@@ -275,8 +278,9 @@ TEST(Generator, TraceIsClassWellFormed)
     for (const CvpRecord &rec : trace) {
         if (isBranch(rec.cls)) {
             EXPECT_NE(rec.target, 0u);
-            if (rec.cls != InstClass::CondBranch)
+            if (rec.cls != InstClass::CondBranch) {
                 EXPECT_TRUE(rec.taken);
+            }
         }
         if (isMem(rec.cls)) {
             EXPECT_NE(rec.ea, 0u);
@@ -299,8 +303,9 @@ TEST(Generator, TakenBranchTargetsMatchNextPc)
     CvpTrace trace = TraceGenerator(computeIntParams(43)).generate(30000);
     for (std::size_t i = 0; i + 1 < trace.size(); ++i) {
         const CvpRecord &rec = trace[i];
-        if (isBranch(rec.cls) && rec.taken)
+        if (isBranch(rec.cls) && rec.taken) {
             EXPECT_EQ(trace[i + 1].pc, rec.target) << "at " << i;
+        }
     }
 }
 

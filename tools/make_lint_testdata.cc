@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Regenerates the committed lint CI fixtures under tests/data/lint/:
+ * three small deterministic synthetic CVP-1 traces plus their All_imps
+ * and No_imp conversions.  CI lints the All_imps pairs with
+ * --fail-on=error (must be clean) and publishes the No_imp JSON report
+ * as an artifact (must be full of findings).
+ *
+ * Usage:  make_lint_testdata [output-dir]   (default tests/data/lint)
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "convert/cvp2champsim.hh"
+#include "synth/generator.hh"
+#include "trace/champsim_trace.hh"
+#include "trace/cvp_trace.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace trb;
+
+    std::string dir = argc >= 2 ? argv[1] : "tests/data/lint";
+    std::filesystem::create_directories(dir);
+
+    const struct
+    {
+        const char *name;
+        WorkloadParams params;
+    } fixtures[] = {
+        {"srv_small", serverParams(7)},
+        {"int_small", computeIntParams(1)},
+        {"mem_small", memoryBoundParams(3)},
+    };
+    constexpr std::uint64_t kLength = 8000;
+
+    for (const auto &f : fixtures) {
+        WorkloadParams params = f.params;
+        params.baseUpdateFrac = 0.08;   // make every defect class reachable
+        params.blrX30Frac = 0.3;
+        CvpTrace cvp = TraceGenerator(params).generate(kLength);
+
+        std::string base = dir + "/" + f.name;
+        writeCvpTrace(base + ".cvp.gz", cvp);
+        for (ImprovementSet imps :
+             {ImprovementSet{kAllImps}, ImprovementSet{kImpNone}}) {
+            Cvp2ChampSim conv(imps);
+            ChampSimTrace cs = conv.convert(cvp);
+            std::string out = base + "." + improvementSetName(imps) +
+                              ".champsimtrace.gz";
+            writeChampSimTrace(out, cs);
+            std::printf("%s: %zu records\n", out.c_str(), cs.size());
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,372 @@
+/**
+ * @file
+ * trace_lint -- the trb::lint command-line front-end.
+ *
+ * Statically checks converted ChampSim traces (and, when the originating
+ * CVP-1 stream is given, the conversion itself) against the invariants a
+ * fully improved cvp2champsim conversion guarantees.  No simulation runs.
+ *
+ *   trace_lint trace.champsim.gz                  # structural rules only
+ *   trace_lint --cvp orig.cvp.gz trace.champsim.gz   # all rules (paired)
+ *   trace_lint --synth cvp1 --imp No_imp          # lint a synth suite
+ *   trace_lint --list-rules                       # rule catalog
+ *
+ * Multiple trace files are linted in parallel on trb::par's global pool
+ * (TRB_JOBS threads); reports are index-addressed, so output order always
+ * matches input order.  The --synth mode fans out through the experiment
+ * harness's forEachTrace(), exactly like the bench binaries.
+ *
+ * Exit status: 0 clean (relative to --fail-on), 1 findings at or above
+ * the --fail-on threshold, 2 usage or I/O error.
+ */
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "convert/cvp2champsim.hh"
+#include "convert/improvements.hh"
+#include "experiments/experiment.hh"
+#include "lint/lint.hh"
+#include "par/thread_pool.hh"
+#include "synth/suites.hh"
+#include "trace/champsim_trace.hh"
+#include "trace/cvp_trace.hh"
+
+namespace
+{
+
+using namespace trb;
+
+enum class FailOn
+{
+    None,
+    Warn,
+    Error,
+};
+
+struct CliOptions
+{
+    std::vector<std::string> traces;   //!< positional ChampSim traces
+    std::vector<std::string> cvps;     //!< --cvp files, paired by position
+    std::string synthSuite;            //!< "cvp1" or "ipc1" (empty: files)
+    ImprovementSet imps = kAllImps;    //!< converter config for --synth
+    lint::LintOptions lintOpts;
+    FailOn failOn = FailOn::Error;
+    std::string jsonPath;              //!< "-" for stdout
+    bool json = false;
+    bool listRules = false;
+};
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: trace_lint [options] <trace.champsim[.gz]>...\n"
+          "       trace_lint [options] --synth cvp1|ipc1 [--imp SET]\n"
+          "       trace_lint --list-rules\n"
+          "\n"
+          "Statically check converted ChampSim traces against the\n"
+          "invariants of a fully improved CVP-1 conversion (no simulation).\n"
+          "\n"
+          "options:\n"
+          "  --cvp FILE        originating CVP-1 trace for the Nth\n"
+          "                    positional trace (repeatable); enables the\n"
+          "                    paired rules\n"
+          "  --synth SUITE     lint conversions of the synthetic cvp1 or\n"
+          "                    ipc1 suite instead of files\n"
+          "  --imp SET         improvement set for --synth (No_imp,\n"
+          "                    Memory_imps, Branch_imps, All_imps,\n"
+          "                    IPC1_imps, imp_*; default All_imps)\n"
+          "  --enable LIST     comma-separated rule ids to run (default\n"
+          "                    all)\n"
+          "  --disable LIST    comma-separated rule ids to skip\n"
+          "  --max-diag N      diagnostics stored per rule (default 20)\n"
+          "  --fail-on KIND    error|warn|none: lowest severity that\n"
+          "                    fails the run (default error)\n"
+          "  --json[=FILE]     machine-readable report to FILE (default\n"
+          "                    stdout)\n"
+          "  --list-rules      print the rule catalog and exit\n"
+          "  -h, --help        this text\n";
+}
+
+std::vector<std::string>
+splitList(const std::string &s)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, ','))
+        if (!item.empty())
+            out.push_back(item);
+    return out;
+}
+
+/** Parse argv; returns false (after printing to stderr) on bad usage. */
+bool
+parseArgs(int argc, char **argv, CliOptions &opts)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *name) -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "trace_lint: " << name
+                          << " needs an argument\n";
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "-h" || arg == "--help") {
+            usage(std::cout);
+            std::exit(0);
+        } else if (arg == "--list-rules") {
+            opts.listRules = true;
+        } else if (arg == "--cvp") {
+            const char *v = value("--cvp");
+            if (!v)
+                return false;
+            opts.cvps.push_back(v);
+        } else if (arg == "--synth") {
+            const char *v = value("--synth");
+            if (!v)
+                return false;
+            opts.synthSuite = v;
+            if (opts.synthSuite != "cvp1" && opts.synthSuite != "ipc1") {
+                std::cerr << "trace_lint: --synth takes cvp1 or ipc1, got '"
+                          << opts.synthSuite << "'\n";
+                return false;
+            }
+        } else if (arg == "--imp") {
+            const char *v = value("--imp");
+            if (!v)
+                return false;
+            if (!parseImprovementSet(v, opts.imps)) {
+                std::cerr << "trace_lint: unknown improvement set '" << v
+                          << "'\n";
+                return false;
+            }
+        } else if (arg == "--enable") {
+            const char *v = value("--enable");
+            if (!v)
+                return false;
+            for (auto &id : splitList(v))
+                opts.lintOpts.enable.push_back(id);
+        } else if (arg == "--disable") {
+            const char *v = value("--disable");
+            if (!v)
+                return false;
+            for (auto &id : splitList(v))
+                opts.lintOpts.disable.push_back(id);
+        } else if (arg == "--max-diag") {
+            const char *v = value("--max-diag");
+            if (!v)
+                return false;
+            opts.lintOpts.maxDiagnosticsPerRule =
+                std::strtoull(v, nullptr, 10);
+        } else if (arg.rfind("--fail-on", 0) == 0) {
+            std::string v;
+            if (arg.size() > 9 && arg[9] == '=') {
+                v = arg.substr(10);
+            } else {
+                const char *p = value("--fail-on");
+                if (!p)
+                    return false;
+                v = p;
+            }
+            if (v == "error") {
+                opts.failOn = FailOn::Error;
+            } else if (v == "warn") {
+                opts.failOn = FailOn::Warn;
+            } else if (v == "none") {
+                opts.failOn = FailOn::None;
+            } else {
+                std::cerr << "trace_lint: --fail-on takes error, warn or "
+                             "none, got '" << v << "'\n";
+                return false;
+            }
+        } else if (arg.rfind("--json", 0) == 0) {
+            opts.json = true;
+            opts.jsonPath =
+                (arg.size() > 6 && arg[6] == '=') ? arg.substr(7) : "-";
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "trace_lint: unknown option '" << arg << "'\n";
+            return false;
+        } else {
+            opts.traces.push_back(arg);
+        }
+    }
+
+    std::string bad;
+    std::vector<std::string> resolved;
+    if (!opts.lintOpts.resolveRules(resolved, bad)) {
+        std::cerr << "trace_lint: unknown rule '" << bad
+                  << "' (see --list-rules)\n";
+        return false;
+    }
+    if (opts.listRules)
+        return true;
+    if (!opts.synthSuite.empty() && !opts.traces.empty()) {
+        std::cerr << "trace_lint: --synth and trace files are mutually "
+                     "exclusive\n";
+        return false;
+    }
+    if (opts.synthSuite.empty() && opts.traces.empty()) {
+        usage(std::cerr);
+        return false;
+    }
+    if (opts.cvps.size() > opts.traces.size()) {
+        std::cerr << "trace_lint: more --cvp files than traces\n";
+        return false;
+    }
+    return true;
+}
+
+void
+listRules()
+{
+    for (const lint::RuleInfo &info : lint::ruleCatalog()) {
+        std::cout << info.id << " [" << lint::severityName(info.severity)
+                  << (info.needsCvp ? ", paired" : "") << "]\n    "
+                  << info.summary << "\n    (" << info.citation << ")\n";
+    }
+}
+
+/** One lint job and its index-addressed result. */
+struct Job
+{
+    std::string name;
+    std::string csPath;
+    std::string cvpPath;   //!< empty: stream-only
+};
+
+bool
+readable(const std::string &path)
+{
+    return std::ifstream(path, std::ios::binary).good();
+}
+
+int
+runFiles(const CliOptions &opts, std::vector<std::string> &names,
+         std::vector<lint::LintReport> &reports)
+{
+    std::vector<Job> jobs;
+    for (std::size_t i = 0; i < opts.traces.size(); ++i) {
+        Job job;
+        job.csPath = opts.traces[i];
+        job.name = opts.traces[i];
+        if (i < opts.cvps.size())
+            job.cvpPath = opts.cvps[i];
+        if (!readable(job.csPath)) {
+            std::cerr << "trace_lint: cannot read '" << job.csPath
+                      << "'\n";
+            return 2;
+        }
+        if (!job.cvpPath.empty() && !readable(job.cvpPath)) {
+            std::cerr << "trace_lint: cannot read '" << job.cvpPath
+                      << "'\n";
+            return 2;
+        }
+        jobs.push_back(std::move(job));
+    }
+
+    // Index-addressed fan-out: report i always belongs to input i, so
+    // the output is schedule-independent.
+    reports = par::ThreadPool::global().parallelMap(
+        jobs, [&](const Job &job) {
+            ChampSimTrace cs = readChampSimTrace(job.csPath);
+            if (job.cvpPath.empty())
+                return lint::lintTrace(cs, opts.lintOpts);
+            CvpTrace cvp = readCvpTrace(job.cvpPath);
+            return lint::lintConverted(cvp, cs, opts.lintOpts);
+        });
+    for (const Job &job : jobs)
+        names.push_back(job.name);
+    return 0;
+}
+
+int
+runSynth(const CliOptions &opts, std::vector<std::string> &names,
+         std::vector<lint::LintReport> &reports)
+{
+    std::vector<TraceSpec> suite = opts.synthSuite == "cvp1"
+                                       ? cvp1PublicSuite(50000)
+                                       : ipc1Suite(50000);
+    std::size_t count = suiteCount(suite);
+    names.resize(count);
+    reports.resize(count);
+    forEachTrace(suite, [&](std::size_t i, const TraceSpec &spec,
+                            const CvpTrace &cvp) {
+        Cvp2ChampSim conv(opts.imps);
+        ChampSimTrace cs = conv.convert(cvp);
+        names[i] = spec.name;
+        reports[i] = lint::lintConverted(cvp, cs, opts.lintOpts);
+    });
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions opts;
+    if (!parseArgs(argc, argv, opts))
+        return 2;
+    if (opts.listRules) {
+        listRules();
+        return 0;
+    }
+
+    std::vector<std::string> names;
+    std::vector<lint::LintReport> reports;
+    int rc = opts.synthSuite.empty() ? runFiles(opts, names, reports)
+                                     : runSynth(opts, names, reports);
+    if (rc != 0)
+        return rc;
+
+    std::uint64_t errors = 0;
+    std::uint64_t warnings = 0;
+    for (std::size_t i = 0; i < reports.size(); ++i) {
+        errors += reports[i].errors;
+        warnings += reports[i].warnings;
+        lint::writeReportText(std::cout, reports[i], names[i]);
+    }
+    if (reports.size() > 1)
+        std::cout << "total: " << errors << " error(s), " << warnings
+                  << " warning(s) across " << reports.size()
+                  << " trace(s)\n";
+
+    if (opts.json) {
+        std::ofstream file;
+        std::ostream *os = &std::cout;
+        if (opts.jsonPath != "-") {
+            file.open(opts.jsonPath);
+            if (!file) {
+                std::cerr << "trace_lint: cannot write '" << opts.jsonPath
+                          << "'\n";
+                return 2;
+            }
+            os = &file;
+        }
+        *os << "{\"reports\": [";
+        for (std::size_t i = 0; i < reports.size(); ++i) {
+            if (i)
+                *os << ", ";
+            lint::writeReportJson(*os, reports[i], names[i]);
+        }
+        *os << "], \"totals\": {\"errors\": " << errors
+            << ", \"warnings\": " << warnings << "}}\n";
+    }
+
+    switch (opts.failOn) {
+      case FailOn::Error:
+        return errors > 0 ? 1 : 0;
+      case FailOn::Warn:
+        return errors + warnings > 0 ? 1 : 0;
+      case FailOn::None:
+        return 0;
+    }
+    return 0;
+}
