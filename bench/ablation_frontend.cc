@@ -15,6 +15,7 @@
  */
 
 #include <cstdio>
+#include <limits>
 #include <vector>
 
 #include "common/env.hh"
@@ -34,9 +35,11 @@ suiteIpc(const std::vector<TraceSpec> &suite, ImprovementSet imps,
          const CoreParams &params, std::vector<double> *misp = nullptr)
 {
     // Index-addressed slots: the harness may run traces concurrently.
-    std::vector<double> ipcs(suiteCount(suite));
+    // NaN prefill marks quarantined traces; aggregates skip them.
+    constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+    std::vector<double> ipcs(suiteCount(suite), kNaN);
     if (misp)
-        misp->resize(ipcs.size());
+        misp->assign(ipcs.size(), kNaN);
     forEachTrace(suite, [&](std::size_t i, const TraceSpec &,
                             const CvpTrace &cvp) {
         SimStats s = simulateCvp(cvp, imps, params);
@@ -44,7 +47,7 @@ suiteIpc(const std::vector<TraceSpec> &suite, ImprovementSet imps,
         if (misp)
             (*misp)[i] = s.branchMpki();
     });
-    return geomean(ipcs);
+    return geomean(finiteValues(ipcs));
 }
 
 } // namespace
@@ -77,7 +80,7 @@ main()
                            : kind == DirPredKind::Gshare ? "gshare"
                                                          : "bimodal";
         std::printf("   %-10s IPC %.3f   branch MPKI %.2f\n", name, ipc,
-                    mean(mpki));
+                    mean(finiteValues(mpki)));
     }
 
     // --- 2. Decoupled vs coupled front-end. ---
@@ -108,5 +111,5 @@ main()
     }
 
     obs::finish();
-    return 0;
+    return resil::harnessExitCode();
 }

@@ -7,6 +7,7 @@
  */
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 
 #include "common/env.hh"
@@ -30,10 +31,13 @@ main()
         std::printf(" %13s", s.setName.c_str());
     std::printf("\n");
 
+    // NaN ratios mark quarantined traces: skip them (every series loses
+    // the same traces, so the columns stay aligned).
     std::vector<std::vector<double>> sorted(series.size());
     for (std::size_t k = 0; k < series.size(); ++k) {
         for (double r : series[k].ratio)
-            sorted[k].push_back(100.0 * (r - 1.0));
+            if (std::isfinite(r))
+                sorted[k].push_back(100.0 * (r - 1.0));
         std::sort(sorted[k].rbegin(), sorted[k].rend());
     }
 
@@ -46,5 +50,5 @@ main()
     }
 
     obs::finish();
-    return 0;
+    return resil::harnessExitCode();
 }

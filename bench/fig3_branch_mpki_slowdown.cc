@@ -45,6 +45,10 @@ main()
                    100.0 * (base.ipc() / fr.ipc() - 1.0)};
     });
 
+    // Quarantined traces never wrote their slot; drop the empty rows.
+    rows.erase(std::remove_if(rows.begin(), rows.end(),
+                              [](const Row &r) { return r.name.empty(); }),
+               rows.end());
     std::sort(rows.begin(), rows.end(),
               [](const Row &a, const Row &b) { return a.mpki < b.mpki; });
 
@@ -71,5 +75,5 @@ main()
     }
 
     obs::finish();
-    return 0;
+    return resil::harnessExitCode();
 }

@@ -42,6 +42,10 @@ main()
                    100.0 * (bu.ipc() / base.ipc() - 1.0)};
     });
 
+    // Quarantined traces never wrote their slot; drop the empty rows.
+    rows.erase(std::remove_if(rows.begin(), rows.end(),
+                              [](const Row &r) { return r.name.empty(); }),
+               rows.end());
     std::sort(rows.begin(), rows.end(), [](const Row &a, const Row &b) {
         return a.wbLoadPct < b.wbLoadPct;
     });
@@ -68,5 +72,5 @@ main()
     }
 
     obs::finish();
-    return 0;
+    return resil::harnessExitCode();
 }

@@ -44,6 +44,10 @@ main()
                    100.0 * (fixed.ipc() / base.ipc() - 1.0)};
     });
 
+    // Quarantined traces never wrote their slot; drop the empty rows.
+    rows.erase(std::remove_if(rows.begin(), rows.end(),
+                              [](const Row &r) { return r.name.empty(); }),
+               rows.end());
     std::sort(rows.begin(), rows.end(), [](const Row &a, const Row &b) {
         return a.rasMpkiOrig > b.rasMpkiOrig;
     });
@@ -64,5 +68,5 @@ main()
                 shown < rows.size() ? rows[shown].rasMpkiOrig : 0.0);
 
     obs::finish();
-    return 0;
+    return resil::harnessExitCode();
 }

@@ -14,6 +14,7 @@
 #include "convert/cvp2champsim.hh"
 #include "obs/metrics.hh"
 #include "pipeline/o3core.hh"
+#include "resil/failure.hh"
 #include "sim/simulator.hh"
 #include "synth/generator.hh"
 #include "trace/cvp_trace.hh"
@@ -220,5 +221,5 @@ main(int argc, char **argv)
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
     trb::obs::finish();
-    return 0;
+    return trb::resil::harnessExitCode();
 }

@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 #include <map>
 #include <vector>
 
@@ -44,7 +45,8 @@ main()
     std::map<std::string, std::vector<double>> speedups[2];
     for (int v = 0; v < 2; ++v)
         for (const std::string &name : names)
-            speedups[v][name].resize(count);
+            speedups[v][name].assign(
+                count, std::numeric_limits<double>::quiet_NaN());
     const ImprovementSet sets[2] = {kImpNone, kIpc1Imps};
     const char *set_names[2] = {"Competition traces", "Fixed traces"};
 
@@ -68,7 +70,8 @@ main()
     for (int v = 0; v < 2; ++v) {
         std::vector<std::pair<double, std::string>> ranking;
         for (const std::string &name : names)
-            ranking.emplace_back(geomean(speedups[v][name]), name);
+            ranking.emplace_back(
+                geomean(finiteValues(speedups[v][name])), name);
         std::sort(ranking.rbegin(), ranking.rend());
         std::printf("\n%s\n%-6s %-12s %-8s\n", set_names[v], "rank",
                     "prefetcher", "speedup");
@@ -78,5 +81,5 @@ main()
     }
 
     obs::finish();
-    return 0;
+    return resil::harnessExitCode();
 }

@@ -10,8 +10,13 @@
  * default All_imps).  Without -o, the converted trace goes to
  * <trace>.champsimtrace (add .gz to compress).  Conversion statistics
  * are printed to stderr.
+ *
+ * Exit status: 0 success, 1 usage error, 2 unreadable/corrupt input or
+ * failed output (one-line diagnostic on stderr, never a crash).
  */
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -57,15 +62,35 @@ main(int argc, char **argv)
     if (output.empty())
         output = input + ".champsimtrace";
 
-    // Stream: CVP-1 records in, ChampSim records out.
-    CvpTraceReader reader(input);
+    // Stream: CVP-1 records in, ChampSim records out.  Malformed input
+    // gets a one-line diagnostic and a distinct exit code, not a crash.
+    CvpTraceReader reader;
+    if (Status st = reader.open(input); !st.ok()) {
+        std::fprintf(stderr, "cvp2champsim: %s\n", st.toString().c_str());
+        return 2;
+    }
     Cvp2ChampSim conv(imps);
     ChampSimTrace out;
-    out.reserve(reader.count() + reader.count() / 8);
+    // Cap the reservation: a corrupt header can promise absurd counts.
+    std::uint64_t expect =
+        std::min<std::uint64_t>(reader.count(), std::uint64_t{1} << 22);
+    out.reserve(expect + expect / 8);
     CvpRecord rec;
     while (reader.next(rec))
         conv.convertOne(rec, out);
-    writeChampSimTrace(output, out);
+    if (!reader.status().ok()) {
+        std::fprintf(stderr, "cvp2champsim: %s\n",
+                     reader.status().toString().c_str());
+        return 2;
+    }
+    if (Status st = reader.finish(); !st.ok()) {
+        std::fprintf(stderr, "cvp2champsim: %s\n", st.toString().c_str());
+        return 2;
+    }
+    if (Status st = tryWriteChampSimTrace(output, out); !st.ok()) {
+        std::fprintf(stderr, "cvp2champsim: %s\n", st.toString().c_str());
+        return 2;
+    }
 
     const ConvStats &s = conv.stats();
     std::fprintf(stderr,

@@ -22,6 +22,17 @@ geomean(const std::vector<double> &values)
     return std::exp(log_sum / static_cast<double>(values.size()));
 }
 
+std::vector<double>
+finiteValues(const std::vector<double> &values)
+{
+    std::vector<double> out;
+    out.reserve(values.size());
+    for (double v : values)
+        if (std::isfinite(v))
+            out.push_back(v);
+    return out;
+}
+
 double
 mean(const std::vector<double> &values)
 {

@@ -20,6 +20,13 @@ namespace trb
 /** Geometric mean of a vector of positive values; 0 if empty. */
 double geomean(const std::vector<double> &values);
 
+/**
+ * Copy with the non-finite entries dropped.  Quarantined traces leave
+ * NaN in their index-addressed result slots; aggregate over
+ * finiteValues(slots) so a fault-isolated run still produces a number.
+ */
+std::vector<double> finiteValues(const std::vector<double> &values);
+
 /** Arithmetic mean; 0 if empty. */
 double mean(const std::vector<double> &values);
 

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Tiny string helpers shared across the tree.  Kept header-only: the
+ * callers are hot-path-free (file-name sniffing, diagnostics) and the
+ * helpers are one-liners.
+ */
+
+#ifndef TRB_COMMON_STRINGS_HH
+#define TRB_COMMON_STRINGS_HH
+
+#include <string_view>
+
+namespace trb
+{
+
+/**
+ * True if @p text ends with @p suffix.  Safe for any lengths -- the
+ * hand-rolled `compare(size() - 3, ...)` idiom this replaces silently
+ * required the caller to pre-check the length.
+ */
+constexpr bool
+endsWith(std::string_view text, std::string_view suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+} // namespace trb
+
+#endif // TRB_COMMON_STRINGS_HH

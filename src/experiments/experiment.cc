@@ -3,13 +3,19 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <limits>
 #include <memory>
 
 #include "common/env.hh"
+#include "common/logging.hh"
 #include "common/stats.hh"
 #include "obs/metrics.hh"
 #include "obs/profile.hh"
 #include "par/thread_pool.hh"
+#include "resil/checkpoint.hh"
+#include "resil/fault.hh"
+#include "resil/retry.hh"
 #include "synth/generator.hh"
 
 namespace trb
@@ -41,14 +47,56 @@ suiteCount(const std::vector<TraceSpec> &suite)
     return std::min(count, suite.size());
 }
 
+namespace
+{
+
+/**
+ * Produce one suite trace, routed through the fault injector: a flaky
+ * affliction fails transiently before generation, and a corrupting
+ * affliction round-trips the generated trace through its serialised
+ * form, damages the bytes, and re-parses -- so synthetic sweeps
+ * exercise exactly the validation a file-backed reader would.  Clean
+ * traces (and all traces with TRB_FAULT unset) skip the round-trip.
+ */
+Expected<CvpTrace>
+generateTraceWithFaults(const TraceSpec &spec)
+{
+    resil::FaultInjector &injector = resil::FaultInjector::global();
+    if (injector.enabled() && injector.shouldFailTransiently(spec.name))
+        return Status::ioError("injected transient failure producing trace")
+            .at(spec.name);
+    CvpTrace trace = [&] {
+        obs::ScopeTimer timer("generate");
+        timer.setItems(spec.length);
+        TraceGenerator gen(spec.params);
+        return gen.generate(spec.length);
+    }();
+    if (injector.enabled()) {
+        resil::FaultPlan plan = injector.plan(spec.name);
+        if (plan.corrupting()) {
+            std::vector<std::uint8_t> bytes = serializeCvpTrace(trace);
+            plan.corruptBuffer(bytes);
+            return parseCvpTrace(bytes.data(), bytes.size(), spec.name);
+        }
+    }
+    return trace;
+}
+
+} // namespace
+
 void
 forEachTrace(const std::vector<TraceSpec> &suite,
              const std::function<void(std::size_t, const TraceSpec &,
-                                      const CvpTrace &)> &fn)
+                                      const CvpTrace &)> &fn,
+             resil::FailureReport *failures)
 {
+    if (!failures)
+        failures = &resil::FailureReport::global();
     const std::size_t count = suiteCount(suite);
     par::ThreadPool &pool = par::ThreadPool::global();
     obs::SuiteProgress progress("suite", count);
+    const resil::RetryPolicy policy = resil::RetryPolicy::fromEnv();
+    const std::size_t preexisting = failures->size();
     pool.parallelFor(count, [&](std::size_t i) {
         // Per-worker throughput shows up in the phase profile as
         // worker.<id>; skipped in serial mode so TRB_JOBS=1 reports
@@ -57,23 +105,44 @@ forEachTrace(const std::vector<TraceSpec> &suite,
         if (pool.jobs() > 1)
             worker_timer = std::make_unique<obs::ScopeTimer>(
                 "worker." + std::to_string(par::workerId()));
-        CvpTrace trace = [&] {
-            obs::ScopeTimer timer("generate");
-            timer.setItems(suite[i].length);
-            TraceGenerator gen(suite[i].params);
-            return gen.generate(suite[i].length);
-        }();
+        Expected<CvpTrace> trace =
+            resil::withRetries(policy, suite[i].name, [&] {
+                return generateTraceWithFaults(suite[i]);
+            });
+        if (!trace.ok()) {
+            // Retryable errors were retried to exhaustion; anything
+            // else failed on its single attempt.
+            unsigned attempts =
+                trace.status().retryable() ? policy.maxAttempts : 1;
+            trb_warn("quarantining trace ", suite[i].name, ": ",
+                     trace.status().toString());
+            failures->add(
+                {suite[i].name, i, attempts, trace.status()});
+            progress.step(i, 0);
+            return;
+        }
         if (worker_timer)
-            worker_timer->setItems(trace.size());
-        fn(i, suite[i], trace);
-        progress.step(i, trace.size());
+            worker_timer->setItems(trace.value().size());
+        fn(i, suite[i], trace.value());
+        progress.step(i, trace.value().size());
     });
+    if (failures->size() > preexisting)
+        trb_warn("suite completed with quarantines -- ",
+                 failures->summary());
 }
 
 double
 DeltaSeries::geomeanDeltaPercent() const
 {
-    return 100.0 * (geomean(ratio) - 1.0);
+    // Quarantined traces leave NaN slots; aggregate over the rest.
+    std::vector<double> finite;
+    finite.reserve(ratio.size());
+    for (double r : ratio)
+        if (std::isfinite(r))
+            finite.push_back(r);
+    if (finite.empty())
+        return 0.0;
+    return 100.0 * (geomean(finite) - 1.0);
 }
 
 unsigned
@@ -81,54 +150,150 @@ DeltaSeries::countAbove(double percent) const
 {
     unsigned n = 0;
     for (double r : ratio)
-        if (std::fabs(r - 1.0) * 100.0 > percent)
+        if (std::isfinite(r) && std::fabs(r - 1.0) * 100.0 > percent)
             ++n;
     return n;
 }
+
+namespace
+{
+
+/**
+ * Identity of a sweep for checkpoint purposes: the visited suite (names
+ * and lengths), the improvement sets, and the core configuration.  Two
+ * runs with the same signature compute the same cells, so resuming one
+ * from the other's manifest is sound; anything else starts fresh.
+ */
+std::string
+sweepSignature(const std::vector<TraceSpec> &suite,
+               const std::vector<NamedSet> &sets, const CoreParams &params,
+               std::size_t count)
+{
+    std::string ident = "v1;n" + std::to_string(count) + ";";
+    for (std::size_t i = 0; i < count && i < suite.size(); ++i)
+        ident += suite[i].name + ":" +
+                 std::to_string(suite[i].length) + ";";
+    for (const NamedSet &s : sets)
+        ident += std::string(s.name) + ";";
+    for (unsigned v :
+         {params.fetchWidth, params.issueWidth, params.retireWidth,
+          params.robSize, params.frontendDepth, params.mispredictPenalty,
+          params.decodeRedirectPenalty, params.ftqLookahead,
+          static_cast<unsigned>(params.decoupledFrontEnd),
+          static_cast<unsigned>(params.idealTargets),
+          static_cast<unsigned>(params.rules),
+          static_cast<unsigned>(params.dirPred),
+          static_cast<unsigned>(params.btbEntries), params.btbWays,
+          static_cast<unsigned>(params.rasEntries)})
+        ident += std::to_string(v) + ",";
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (char c : ident)
+        h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+    char buf[17];
+    std::snprintf(buf, sizeof(buf), "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+std::uint64_t
+doubleBits(double v)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits;
+}
+
+double
+bitsDouble(std::uint64_t bits)
+{
+    double v = 0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+}
+
+} // namespace
 
 std::vector<DeltaSeries>
 runImprovementSweep(const std::vector<TraceSpec> &suite,
                     const std::vector<NamedSet> &sets,
                     const CoreParams &params,
-                    std::vector<SimStats> *baseline_out)
+                    std::vector<SimStats> *baseline_out,
+                    resil::FailureReport *failures)
 {
     const std::size_t count = suiteCount(suite);
     std::vector<DeltaSeries> series(sets.size());
     for (std::size_t k = 0; k < sets.size(); ++k) {
         series[k].setName = sets[k].name;
-        series[k].ratio.resize(count);
+        series[k].ratio.assign(count,
+                               std::numeric_limits<double>::quiet_NaN());
     }
     if (baseline_out)
-        baseline_out->resize(count);
+        baseline_out->assign(count, SimStats{});
+
+    // Resumable sweeps: completed cells come back from the manifest as
+    // exact bit patterns instead of being simulated again.  Quarantined
+    // cells are never recorded, so a rerun retries (and, fault plans
+    // being deterministic, re-quarantines) them.
+    std::unique_ptr<resil::Checkpoint> checkpoint = resil::Checkpoint::
+        fromEnv(sweepSignature(suite, sets, params, count));
 
     obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
     par::ThreadPool &pool = par::ThreadPool::global();
-    forEachTrace(suite, [&](std::size_t i, const TraceSpec &,
-                            const CvpTrace &cvp) {
-        SimStats base = simulateCvp(cvp, kImpNone, params);
-        if (baseline_out)
-            (*baseline_out)[i] = base;
-        // Buffer this task's gauges and flush them in one batch at task
-        // end, so workers contend on the registry once per trace rather
-        // than once per metric (micro_components benchmarks the
-        // alternatives).
-        obs::ThreadMetricsBuffer metrics(reg);
-        const std::string trace_tag = "trace" + std::to_string(i);
-        metrics.set("sweep.baseline." + trace_tag + ".ipc", base.ipc());
-        // One task per (trace x improvement set): the inner loop rides
-        // the same work-stealing pool, so idle workers pick up sets of
-        // the trace another worker generated.
-        pool.parallelFor(sets.size(), [&](std::size_t k) {
-            obs::ScopeTimer set_timer(std::string("set.") + sets[k].name);
-            set_timer.setItems(cvp.size());
-            SimStats s = simulateCvp(cvp, sets[k].set, params);
-            series[k].ratio[i] = s.ipc() / base.ipc();
-        });
-        for (std::size_t k = 0; k < sets.size(); ++k)
-            metrics.set("sweep." + series[k].setName + "." + trace_tag +
-                            ".ipc_ratio",
-                        series[k].ratio[i]);
-    });
+    forEachTrace(
+        suite,
+        [&](std::size_t i, const TraceSpec &, const CvpTrace &cvp) {
+            const std::string cell_tag = "t" + std::to_string(i);
+            SimStats base;
+            bool restored = false;
+            if (checkpoint) {
+                std::vector<std::uint64_t> bits;
+                restored = checkpoint->lookup(cell_tag + ".base", bits) &&
+                           SimStats::fromBits(bits, base);
+            }
+            if (!restored) {
+                base = simulateCvp(cvp, kImpNone, params);
+                if (checkpoint)
+                    checkpoint->record(cell_tag + ".base", base.toBits());
+            }
+            if (baseline_out)
+                (*baseline_out)[i] = base;
+            // Buffer this task's gauges and flush them in one batch at
+            // task end, so workers contend on the registry once per
+            // trace rather than once per metric (micro_components
+            // benchmarks the alternatives).
+            obs::ThreadMetricsBuffer metrics(reg);
+            const std::string trace_tag = "trace" + std::to_string(i);
+            metrics.set("sweep.baseline." + trace_tag + ".ipc",
+                        base.ipc());
+            // One task per (trace x improvement set): the inner loop
+            // rides the same work-stealing pool, so idle workers pick
+            // up sets of the trace another worker generated.
+            pool.parallelFor(sets.size(), [&](std::size_t k) {
+                const std::string cell =
+                    cell_tag + ".s" + std::to_string(k);
+                if (checkpoint) {
+                    std::vector<std::uint64_t> bits;
+                    if (checkpoint->lookup(cell, bits) &&
+                        bits.size() == 1) {
+                        series[k].ratio[i] = bitsDouble(bits[0]);
+                        return;
+                    }
+                }
+                obs::ScopeTimer set_timer(std::string("set.") +
+                                          sets[k].name);
+                set_timer.setItems(cvp.size());
+                SimStats s = simulateCvp(cvp, sets[k].set, params);
+                series[k].ratio[i] = s.ipc() / base.ipc();
+                if (checkpoint)
+                    checkpoint->record(
+                        cell, {doubleBits(series[k].ratio[i])});
+            });
+            for (std::size_t k = 0; k < sets.size(); ++k)
+                metrics.set("sweep." + series[k].setName + "." +
+                                trace_tag + ".ipc_ratio",
+                            series[k].ratio[i]);
+        },
+        failures);
     // Post-join, single-threaded: the summary gauges land in the
     // registry in series order whatever the task schedule was.
     for (const DeltaSeries &s : series)

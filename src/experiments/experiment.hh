@@ -25,6 +25,7 @@
 
 #include "convert/cvp2champsim.hh"
 #include "pipeline/sim_stats.hh"
+#include "resil/failure.hh"
 #include "sim/simulator.hh"
 #include "synth/params.hh"
 
@@ -60,17 +61,31 @@ std::size_t suiteCount(const std::vector<TraceSpec> &suite);
  * appending to shared containers, and must not print in trace order.
  * With TRB_JOBS=1 the callback runs inline in index order -- the exact
  * serial behaviour this harness had before parallelisation.
+ *
+ * Failure policy (PR 4): a trace that cannot be produced -- fault
+ * injection active, I/O failed -- does not kill the suite.  Transient
+ * IoErrors are retried with bounded exponential backoff (TRB_RETRIES);
+ * anything else quarantines the trace into @p failures (the global
+ * FailureReport when null), its callback is skipped, its result slot is
+ * left untouched, and the suite continues.  A warning summarising the
+ * quarantines is logged at the end.
  */
 void forEachTrace(
     const std::vector<TraceSpec> &suite,
     const std::function<void(std::size_t, const TraceSpec &,
-                             const CvpTrace &)> &fn);
+                             const CvpTrace &)> &fn,
+    resil::FailureReport *failures = nullptr);
 
 /** Per-trace outcome of one improvement set vs the original converter. */
 struct DeltaSeries
 {
     std::string setName;
-    std::vector<double> ratio;   //!< improved IPC / baseline IPC
+    /**
+     * improved IPC / baseline IPC per trace; NaN marks a quarantined
+     * trace whose cell was never computed.  The aggregate helpers skip
+     * non-finite entries.
+     */
+    std::vector<double> ratio;
 
     double geomeanDeltaPercent() const;
     unsigned countAbove(double percent) const;
@@ -85,12 +100,22 @@ struct DeltaSeries
  * series (and @p baseline_out) are bit-identical for every TRB_JOBS
  * value.
  *
+ * Failure policy and resume (PR 4): quarantined traces (see
+ * forEachTrace()) leave NaN ratios and default baseline stats; the
+ * sweep continues.  When TRB_CHECKPOINT=<path> is set, every completed
+ * (trace x set) cell is appended to a crash-safe manifest as exact bit
+ * patterns, and a rerun with the same manifest resumes from the last
+ * completed cell with bit-identical results; a manifest written by a
+ * different sweep (signature mismatch) is discarded.
+ *
  * @param baseline_out optional per-trace baseline stats sink, resized
  *        to the visited-trace count and filled by trace index
+ * @param failures quarantine sink; the global FailureReport when null
  */
 std::vector<DeltaSeries> runImprovementSweep(
     const std::vector<TraceSpec> &suite, const std::vector<NamedSet> &sets,
-    const CoreParams &params, std::vector<SimStats> *baseline_out = nullptr);
+    const CoreParams &params, std::vector<SimStats> *baseline_out = nullptr,
+    resil::FailureReport *failures = nullptr);
 
 /** Fraction of CVP-1 instructions that are writeback (base-update)
  *  loads, the x-axis of Figure 4. */

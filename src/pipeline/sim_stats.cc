@@ -96,4 +96,64 @@ SimStats::operator-(const SimStats &base) const
     return d;
 }
 
+namespace
+{
+
+/**
+ * Apply @p fn to every counter of @p stats, in a single fixed order
+ * shared by toBits() and fromBits() so the two cannot drift apart.
+ */
+template <typename Stats, typename Fn>
+void
+forEachStatField(Stats &stats, Fn &&fn)
+{
+    fn(stats.instructions);
+    fn(stats.cycles);
+    fn(stats.branches);
+    fn(stats.takenBranches);
+    fn(stats.branchMispredicts);
+    fn(stats.directionMispredicts);
+    fn(stats.targetMispredicts);
+    for (int t = 0; t < 7; ++t) {
+        fn(stats.typeCount[t]);
+        fn(stats.typeMispredicts[t]);
+        fn(stats.typeTargetMispredicts[t]);
+    }
+    fn(stats.l1iAccesses);
+    fn(stats.l1iMisses);
+    fn(stats.l1iMshrMerges);
+    fn(stats.l1dAccesses);
+    fn(stats.l1dMisses);
+    fn(stats.l1dMshrMerges);
+    fn(stats.l2Accesses);
+    fn(stats.l2Misses);
+    fn(stats.llcAccesses);
+    fn(stats.llcMisses);
+    fn(stats.prefetchesIssued);
+    fn(stats.robFullStalls);
+}
+
+} // namespace
+
+std::vector<std::uint64_t>
+SimStats::toBits() const
+{
+    std::vector<std::uint64_t> bits;
+    forEachStatField(*this,
+                     [&](std::uint64_t v) { bits.push_back(v); });
+    return bits;
+}
+
+bool
+SimStats::fromBits(const std::vector<std::uint64_t> &bits, SimStats &out)
+{
+    std::size_t expected = 0;
+    forEachStatField(out, [&](std::uint64_t &) { ++expected; });
+    if (bits.size() != expected)
+        return false;
+    std::size_t i = 0;
+    forEachStatField(out, [&](std::uint64_t &v) { v = bits[i++]; });
+    return true;
+}
+
 } // namespace trb

@@ -12,6 +12,7 @@
 #include <array>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -87,6 +88,16 @@ struct SimStats
 
     /** Phase arithmetic: measurement = end snapshot - start snapshot. */
     SimStats operator-(const SimStats &base) const;
+
+    /**
+     * Flatten every counter into a fixed-order u64 vector -- the exact
+     * bits, so a checkpointed cell restores to a bit-identical SimStats.
+     * fromBits() is the inverse; it rejects a vector of the wrong length
+     * (a manifest written by an older/newer stat layout).
+     */
+    std::vector<std::uint64_t> toBits() const;
+    static bool fromBits(const std::vector<std::uint64_t> &bits,
+                         SimStats &out);
 };
 
 } // namespace trb

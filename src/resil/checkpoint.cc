@@ -1,0 +1,191 @@
+#include "resil/checkpoint.hh"
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+
+namespace trb
+{
+namespace resil
+{
+
+namespace
+{
+
+std::string g_test_path;   //!< overrides TRB_CHECKPOINT when non-empty
+
+/**
+ * Pull the string value of @p key out of a single-line JSON object.
+ * Tolerant by design: manifest lines are machine-written, and anything
+ * unparseable (a half-flushed tail after a kill) is simply skipped.
+ */
+bool
+jsonField(const std::string &line, const char *key, std::string &value)
+{
+    std::string needle = std::string("\"") + key + "\": \"";
+    std::size_t at = line.find(needle);
+    if (at == std::string::npos)
+        return false;
+    at += needle.size();
+    std::size_t end = line.find('"', at);
+    if (end == std::string::npos)
+        return false;
+    value = line.substr(at, end - at);
+    return true;
+}
+
+/** Parse the "bits": ["0x...", ...] array of a cell line. */
+bool
+jsonBits(const std::string &line, std::vector<std::uint64_t> &bits)
+{
+    std::size_t at = line.find("\"bits\": [");
+    if (at == std::string::npos)
+        return false;
+    at += std::strlen("\"bits\": [");
+    std::size_t end = line.find(']', at);
+    if (end == std::string::npos)
+        return false;
+    bits.clear();
+    while (at < end) {
+        std::size_t open = line.find('"', at);
+        if (open == std::string::npos || open >= end)
+            break;
+        std::size_t close = line.find('"', open + 1);
+        if (close == std::string::npos || close > end)
+            return false;
+        std::string hex = line.substr(open + 1, close - open - 1);
+        char *stop = nullptr;
+        std::uint64_t v = std::strtoull(hex.c_str(), &stop, 16);
+        if (stop == hex.c_str() || *stop != '\0')
+            return false;
+        bits.push_back(v);
+        at = close + 1;
+    }
+    return true;
+}
+
+std::string
+hexBits(std::uint64_t v)
+{
+    char buf[19];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(v));
+    return buf;
+}
+
+} // namespace
+
+Checkpoint::~Checkpoint()
+{
+    if (out_)
+        std::fclose(out_);
+}
+
+std::unique_ptr<Checkpoint>
+Checkpoint::open(const std::string &path, const std::string &signature)
+{
+    auto ckpt = std::unique_ptr<Checkpoint>(new Checkpoint());
+
+    bool resume = false;
+    {
+        std::ifstream in(path);
+        std::string line;
+        if (in && std::getline(in, line)) {
+            std::string sig;
+            if (line.find("\"trb_checkpoint\"") != std::string::npos &&
+                jsonField(line, "signature", sig) && sig == signature) {
+                resume = true;
+                while (std::getline(in, line)) {
+                    std::string cell;
+                    std::vector<std::uint64_t> bits;
+                    if (jsonField(line, "cell", cell) &&
+                        jsonBits(line, bits))
+                        ckpt->cells_.emplace(std::move(cell),
+                                             std::move(bits));
+                }
+                ckpt->loaded_ = ckpt->cells_.size();
+            } else {
+                trb_warn("checkpoint manifest ", path,
+                         " belongs to a different sweep; starting fresh");
+            }
+        }
+    }
+
+    ckpt->out_ = std::fopen(path.c_str(), resume ? "ab" : "wb");
+    if (!ckpt->out_) {
+        trb_warn("cannot open checkpoint manifest ", path,
+                 " for writing; checkpointing disabled");
+        return nullptr;
+    }
+    if (!resume) {
+        std::fprintf(ckpt->out_,
+                     "{\"trb_checkpoint\": 1, \"signature\": \"%s\"}\n",
+                     signature.c_str());
+        std::fflush(ckpt->out_);
+    } else if (ckpt->loaded_ > 0) {
+        trb_inform("resuming from checkpoint ", path, ": ",
+                   ckpt->loaded_, " completed cell(s)");
+    }
+    return ckpt;
+}
+
+std::unique_ptr<Checkpoint>
+Checkpoint::fromEnv(const std::string &signature)
+{
+    std::string path = g_test_path;
+    if (path.empty()) {
+        const char *env = std::getenv("TRB_CHECKPOINT");
+        if (!env || !*env)
+            return nullptr;
+        path = env;
+    }
+    return open(path, signature);
+}
+
+void
+Checkpoint::setPathForTesting(const std::string &path)
+{
+    g_test_path = path;
+}
+
+bool
+Checkpoint::lookup(const std::string &cell,
+                   std::vector<std::uint64_t> &bits) const
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = cells_.find(cell);
+        if (it == cells_.end())
+            return false;
+        bits = it->second;
+    }
+    obs::MetricsRegistry::global().addCounter("resil.resumed_cells");
+    return true;
+}
+
+void
+Checkpoint::record(const std::string &cell,
+                   const std::vector<std::uint64_t> &bits)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (cells_.count(cell))
+        return;   // already durable; keep the manifest append-only
+    cells_.emplace(cell, bits);
+    if (!out_)
+        return;
+    std::string line = "{\"cell\": \"" + cell + "\", \"bits\": [";
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        if (i)
+            line += ", ";
+        line += "\"" + hexBits(bits[i]) + "\"";
+    }
+    line += "]}\n";
+    std::fputs(line.c_str(), out_);
+    std::fflush(out_);
+}
+
+} // namespace resil
+} // namespace trb

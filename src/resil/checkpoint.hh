@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Checkpoint -- a crash-safe manifest that lets a long sweep resume
+ * from the last completed trace x improvement cell with bit-identical
+ * results.
+ *
+ * The manifest (TRB_CHECKPOINT=<path>) is JSON-lines: a header object
+ * carrying the sweep signature, then one object per completed cell
+ * whose values are stored as hexadecimal uint64 *bit patterns* -- the
+ * exact bits of the doubles and counters, so a resumed run reproduces
+ * the uninterrupted run byte-for-byte at any TRB_JOBS setting:
+ *
+ *     {"trb_checkpoint": 1, "signature": "7f3a..."}
+ *     {"cell": "t4.base", "bits": ["0x00000000000186a0", ...]}
+ *     {"cell": "t4.s2", "bits": ["0x3ff0147ae147ae14"]}
+ *
+ * Each record() appends one line and flushes, so a SIGKILL loses at
+ * most the cells whose lines never reached the file; a trailing
+ * partial line is ignored on reload.  A signature mismatch (different
+ * suite, sets, scale or core config) discards the stale manifest and
+ * starts fresh rather than resuming into wrong results.  Cells served
+ * from the manifest bump the resil.resumed_cells obs counter.
+ */
+
+#ifndef TRB_RESIL_CHECKPOINT_HH
+#define TRB_RESIL_CHECKPOINT_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace trb
+{
+namespace resil
+{
+
+/** Append-only completed-cell manifest keyed by cell name. */
+class Checkpoint
+{
+  public:
+    ~Checkpoint();
+
+    Checkpoint(const Checkpoint &) = delete;
+    Checkpoint &operator=(const Checkpoint &) = delete;
+
+    /**
+     * Open (creating or resuming) the manifest at @p path for a sweep
+     * identified by @p signature.  Returns nullptr (with a warning)
+     * only if the file cannot be opened for writing.
+     */
+    static std::unique_ptr<Checkpoint> open(const std::string &path,
+                                            const std::string &signature);
+
+    /**
+     * Manifest from TRB_CHECKPOINT (or the test override); nullptr when
+     * no checkpointing was requested.
+     */
+    static std::unique_ptr<Checkpoint>
+    fromEnv(const std::string &signature);
+
+    /** Override TRB_CHECKPOINT for tests; empty string clears. */
+    static void setPathForTesting(const std::string &path);
+
+    /**
+     * Fetch a completed cell's bits; true on hit (bumps
+     * resil.resumed_cells).  Call once per cell.
+     */
+    bool lookup(const std::string &cell,
+                std::vector<std::uint64_t> &bits) const;
+
+    /** Append a completed cell and flush. */
+    void record(const std::string &cell,
+                const std::vector<std::uint64_t> &bits);
+
+    /** Cells loaded from a pre-existing manifest. */
+    std::size_t loadedCells() const { return loaded_; }
+
+  private:
+    Checkpoint() = default;
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, std::vector<std::uint64_t>> cells_;
+    std::size_t loaded_ = 0;
+    std::FILE *out_ = nullptr;
+};
+
+} // namespace resil
+} // namespace trb
+
+#endif // TRB_RESIL_CHECKPOINT_HH

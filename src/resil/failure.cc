@@ -1,0 +1,119 @@
+#include "resil/failure.hh"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+
+namespace trb
+{
+namespace resil
+{
+
+void
+FailureReport::add(Quarantine q)
+{
+    obs::MetricsRegistry::global().addCounter("resil.quarantines");
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.push_back(std::move(q));
+}
+
+bool
+FailureReport::empty() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.empty();
+}
+
+std::size_t
+FailureReport::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::vector<Quarantine>
+FailureReport::entries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_;
+}
+
+void
+FailureReport::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+}
+
+void
+FailureReport::writeJson(std::ostream &os) const
+{
+    std::vector<Quarantine> snapshot = entries();
+    os << "{\"quarantined\": " << snapshot.size() << ", \"traces\": [";
+    for (std::size_t i = 0; i < snapshot.size(); ++i) {
+        const Quarantine &q = snapshot[i];
+        if (i)
+            os << ", ";
+        os << "{\"trace\": " << obs::jsonQuote(q.trace)
+           << ", \"index\": " << q.index
+           << ", \"attempts\": " << q.attempts << ", \"error_class\": "
+           << obs::jsonQuote(errorClassName(q.status.errorClass()))
+           << ", \"message\": " << obs::jsonQuote(q.status.message());
+        if (q.status.byteOffset() != kNoPosition)
+            os << ", \"byte_offset\": " << q.status.byteOffset();
+        if (q.status.recordIndex() != kNoPosition)
+            os << ", \"record_index\": " << q.status.recordIndex();
+        if (!q.status.ruleViolated().empty())
+            os << ", \"rule\": "
+               << obs::jsonQuote(q.status.ruleViolated());
+        os << "}";
+    }
+    os << "]}\n";
+}
+
+std::string
+FailureReport::summary() const
+{
+    std::vector<Quarantine> snapshot = entries();
+    std::ostringstream os;
+    os << snapshot.size() << " trace(s) quarantined";
+    for (const Quarantine &q : snapshot)
+        os << "\n  " << q.trace << " (index " << q.index << ", "
+           << q.attempts << " attempt(s)): " << q.status.toString();
+    return os.str();
+}
+
+FailureReport &
+FailureReport::global()
+{
+    static FailureReport report;
+    return report;
+}
+
+bool
+dumpGlobalReportIfRequested()
+{
+    const char *path = std::getenv("TRB_FAILURE_REPORT");
+    if (!path || !*path)
+        return false;
+    std::ofstream file(path);
+    if (!file) {
+        trb_warn("cannot write TRB_FAILURE_REPORT file ", path);
+        return false;
+    }
+    FailureReport::global().writeJson(file);
+    return true;
+}
+
+int
+harnessExitCode()
+{
+    dumpGlobalReportIfRequested();
+    return FailureReport::global().empty() ? 0 : 3;
+}
+
+} // namespace resil
+} // namespace trb

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * FailureReport -- where a fault-isolated sweep quarantines its
+ * casualties instead of dying.
+ *
+ * Each quarantined trace carries its Status, its suite index and how
+ * many attempts were made; the harness logs a one-line summary at the
+ * end of the suite and, when TRB_FAILURE_REPORT=<path> is set, writes
+ * the whole report as JSON so CI can archive the failure profile as an
+ * artifact.  Quarantines bump the resil.quarantines obs counter.
+ *
+ * harnessExitCode() is what the bench mains return: 0 for a clean run,
+ * 3 (sysexits-free, distinct from the tools' 1/2) when any trace was
+ * quarantined -- a sweep that lost inputs completes but does not
+ * pretend to be whole.
+ */
+
+#ifndef TRB_RESIL_FAILURE_HH
+#define TRB_RESIL_FAILURE_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "resil/status.hh"
+
+namespace trb
+{
+namespace resil
+{
+
+/** One quarantined unit of work. */
+struct Quarantine
+{
+    std::string trace;     //!< suite trace name or file path
+    std::size_t index = 0; //!< suite index (slot left unwritten)
+    unsigned attempts = 1; //!< attempts made before giving up
+    Status status;         //!< why it was quarantined
+};
+
+/** Thread-safe ledger of quarantined work. */
+class FailureReport
+{
+  public:
+    FailureReport() = default;
+    FailureReport(const FailureReport &) = delete;
+    FailureReport &operator=(const FailureReport &) = delete;
+
+    /** Quarantine one unit (locked; bumps resil.quarantines). */
+    void add(Quarantine q);
+
+    bool empty() const;
+    std::size_t size() const;
+
+    /** Copy of the entries, in quarantine order. */
+    std::vector<Quarantine> entries() const;
+
+    /** Drop everything (tests). */
+    void clear();
+
+    /**
+     * {"quarantined": N, "traces": [{"trace": ..., "index": ...,
+     *  "attempts": ..., "error_class": ..., "message": ...}, ...]}
+     */
+    void writeJson(std::ostream &os) const;
+
+    /** Multi-line human summary, one quarantined trace per line. */
+    std::string summary() const;
+
+    /** The process-wide report the experiment harness feeds. */
+    static FailureReport &global();
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<Quarantine> entries_;
+};
+
+/**
+ * Write the global report to TRB_FAILURE_REPORT if that is set (even
+ * when empty: an empty report is a positive "nothing quarantined").
+ * @return true if a file was written.
+ */
+bool dumpGlobalReportIfRequested();
+
+/**
+ * Harness epilogue: dump the global report if requested, then return 0
+ * when it is empty and 3 otherwise (the bench mains' exit code).
+ */
+int harnessExitCode();
+
+} // namespace resil
+} // namespace trb
+
+#endif // TRB_RESIL_FAILURE_HH

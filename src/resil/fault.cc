@@ -1,0 +1,286 @@
+#include "resil/fault.hh"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace trb
+{
+namespace resil
+{
+
+namespace
+{
+
+/** splitmix64 of a value (the common/rng.hh one advances a state). */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    std::uint64_t state = x;
+    return splitmix64(state);
+}
+
+/** Derived per-plan hash stream: position/purpose k under a seed. */
+std::uint64_t
+planHash(std::uint64_t seed, std::uint64_t k)
+{
+    return mix64(seed + k * 0x9e3779b97f4a7c15ULL);
+}
+
+/** FNV-1a over a string, folded with a seed and a purpose tag. */
+std::uint64_t
+streamHash(std::uint64_t seed, unsigned purpose, const std::string &name)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL ^ seed;
+    h = (h ^ purpose) * 0x100000001b3ULL;
+    for (char c : name)
+        h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+    // One splitmix pass scrambles the low bits FNV leaves weak.
+    return mix64(h);
+}
+
+/** Uniform double in [0,1) from a hash value. */
+double
+hashUniform(std::uint64_t h)
+{
+    return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+/** Per-byte bitflip intensity once a stream is afflicted: 1 in 128. */
+constexpr std::uint64_t kFlipThreshold = ~std::uint64_t{0} / 128;
+
+constexpr std::uint64_t kGarbageRun = 64;
+
+/** Bytes spared from garbage runs so header faults stay bitflip's. */
+constexpr std::uint64_t kGarbageSkip = 20;
+
+} // namespace
+
+const char *
+faultKindName(FaultKind kind)
+{
+    switch (kind) {
+      case FaultKind::Truncate:
+        return "truncate";
+      case FaultKind::BitFlip:
+        return "bitflip";
+      case FaultKind::Garbage:
+        return "garbage";
+      case FaultKind::ShortRead:
+        return "short-read";
+      case FaultKind::Flaky:
+        return "flaky";
+    }
+    return "unknown";
+}
+
+Expected<FaultSpec>
+FaultSpec::parse(const std::string &text)
+{
+    FaultSpec spec;
+    std::stringstream ss(text);
+    std::string item;
+    while (std::getline(ss, item, ',')) {
+        if (item.empty())
+            continue;
+        std::size_t colon = item.find(':');
+        if (colon == std::string::npos)
+            return Status::corrupt("TRB_FAULT entry '" + item +
+                                   "' is not kind:rate");
+        std::string kind = item.substr(0, colon);
+        std::string rate_text = item.substr(colon + 1);
+        char *end = nullptr;
+        double rate = std::strtod(rate_text.c_str(), &end);
+        if (end == rate_text.c_str() || *end != '\0' || rate < 0.0 ||
+            rate > 1.0) {
+            return Status::corrupt("TRB_FAULT rate '" + rate_text +
+                                   "' for '" + kind +
+                                   "' is not in [0, 1]");
+        }
+        bool known = false;
+        for (unsigned k = 0; k < kNumFaultKinds; ++k) {
+            if (kind == faultKindName(static_cast<FaultKind>(k))) {
+                spec.rate[k] = rate;
+                known = true;
+                break;
+            }
+        }
+        if (!known)
+            return Status::corrupt("TRB_FAULT kind '" + kind +
+                                   "' is not recognised");
+    }
+    return spec;
+}
+
+std::uint64_t
+FaultPlan::truncateOffsetFor(std::uint64_t stream_size) const
+{
+    // Cut in the middle 10%..90%, so something survives but the
+    // stream's promise is broken.
+    double frac = 0.1 + 0.8 * hashUniform(planHash(seed, 1));
+    return static_cast<std::uint64_t>(
+        frac * static_cast<double>(stream_size));
+}
+
+bool
+FaultPlan::flipsByteAt(std::uint64_t offset) const
+{
+    return planHash(seed, offset * 2 + 3) < kFlipThreshold;
+}
+
+unsigned
+FaultPlan::flipBitAt(std::uint64_t offset) const
+{
+    return static_cast<unsigned>(planHash(seed, offset * 2 + 4) & 7);
+}
+
+std::uint64_t
+FaultPlan::garbageOffsetFor(std::uint64_t stream_size) const
+{
+    if (stream_size <= kGarbageSkip + kGarbageRun)
+        return kGarbageSkip;
+    std::uint64_t span = stream_size - kGarbageSkip - kGarbageRun;
+    return kGarbageSkip + planHash(seed, 7) % span;
+}
+
+void
+FaultPlan::corruptBuffer(std::vector<std::uint8_t> &bytes) const
+{
+    if (truncate && !bytes.empty())
+        bytes.resize(static_cast<std::size_t>(std::min<std::uint64_t>(
+            bytes.size(), truncateOffsetFor(bytes.size()))));
+    if (garbage && bytes.size() > kGarbageSkip) {
+        std::uint64_t start = garbageOffsetFor(bytes.size());
+        for (std::uint64_t i = 0;
+             i < kGarbageRun && start + i < bytes.size(); ++i)
+            bytes[static_cast<std::size_t>(start + i)] =
+                static_cast<std::uint8_t>(
+                    planHash(seed, start + i + 11));
+    }
+    if (bitflip) {
+        for (std::size_t i = 0; i < bytes.size(); ++i)
+            if (flipsByteAt(i))
+                bytes[i] = static_cast<std::uint8_t>(
+                    bytes[i] ^ (1u << flipBitAt(i)));
+    }
+}
+
+void
+FaultPlan::corruptChunk(std::uint8_t *data, std::size_t len,
+                        std::uint64_t offset) const
+{
+    if (garbage) {
+        // Streaming readers do not know the total size; anchor the run
+        // just past the header so small fixtures are always hit.
+        std::uint64_t start = kGarbageSkip + planHash(seed, 7) % 1024;
+        for (std::size_t i = 0; i < len; ++i) {
+            std::uint64_t pos = offset + i;
+            if (pos >= start && pos < start + kGarbageRun)
+                data[i] = static_cast<std::uint8_t>(
+                    planHash(seed, pos + 11));
+        }
+    }
+    if (bitflip) {
+        for (std::size_t i = 0; i < len; ++i) {
+            std::uint64_t pos = offset + i;
+            if (flipsByteAt(pos))
+                data[i] = static_cast<std::uint8_t>(
+                    data[i] ^ (1u << flipBitAt(pos)));
+        }
+    }
+}
+
+FaultInjector::FaultInjector()
+{
+    const char *text = std::getenv("TRB_FAULT");
+    if (!text || !*text)
+        return;
+    Expected<FaultSpec> parsed = FaultSpec::parse(text);
+    if (!parsed.ok())
+        trb_fatal(parsed.status().toString());
+    spec_ = parsed.value();
+    seed_ = envU64("TRB_FAULT_SEED", 1);
+    enabled_ = spec_.any();
+    if (enabled_)
+        trb_inform("fault injection enabled: TRB_FAULT=", text,
+                   " seed=", seed_);
+}
+
+FaultInjector &
+FaultInjector::global()
+{
+    static FaultInjector injector;
+    return injector;
+}
+
+void
+FaultInjector::configure(const FaultSpec &spec, std::uint64_t seed)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    spec_ = spec;
+    seed_ = seed;
+    enabled_ = spec.any();
+    attempts_.clear();
+}
+
+void
+FaultInjector::disable()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    enabled_ = false;
+    spec_ = FaultSpec{};
+    attempts_.clear();
+}
+
+FaultPlan
+FaultInjector::plan(const std::string &name) const
+{
+    FaultPlan plan;
+    if (!enabled_)
+        return plan;
+    plan.seed = streamHash(seed_, 0xf0, name);
+    auto afflicted = [&](FaultKind kind) {
+        double rate = spec_.rate[static_cast<unsigned>(kind)];
+        if (rate <= 0.0)
+            return false;
+        return hashUniform(streamHash(
+                   seed_, static_cast<unsigned>(kind) + 1, name)) < rate;
+    };
+    plan.truncate = afflicted(FaultKind::Truncate);
+    plan.bitflip = afflicted(FaultKind::BitFlip);
+    plan.garbage = afflicted(FaultKind::Garbage);
+    plan.shortRead = afflicted(FaultKind::ShortRead);
+    if (afflicted(FaultKind::Flaky)) {
+        // 1 or 2 transient failures, below the default TRB_RETRIES=3.
+        plan.transientFailures =
+            1 + static_cast<unsigned>(planHash(plan.seed, 0x5a) & 1);
+    }
+    return plan;
+}
+
+bool
+FaultInjector::shouldFailTransiently(const std::string &name)
+{
+    if (!enabled_)
+        return false;
+    FaultPlan p = plan(name);
+    if (p.transientFailures == 0)
+        return false;
+    std::lock_guard<std::mutex> lock(mutex_);
+    unsigned attempt = attempts_[name]++;
+    return attempt < p.transientFailures;
+}
+
+void
+FaultInjector::resetAttempts()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    attempts_.clear();
+}
+
+} // namespace resil
+} // namespace trb

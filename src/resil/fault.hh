@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Deterministic fault injection for the trace I/O paths.
+ *
+ * TRB_FAULT selects the failure modes and their per-stream affliction
+ * probabilities, e.g.
+ *
+ *     TRB_FAULT=truncate:0.1,bitflip:0.05,garbage:0.05,short-read:1.0
+ *
+ *  - truncate:<frac>    the stream ends early, mid-record
+ *  - bitflip:<rate>     random bits flip throughout the stream
+ *  - garbage:<rate>     a 64-byte run is overwritten with noise
+ *  - short-read:<rate>  reads return fewer bytes than asked (never
+ *                       corrupts data -- exercises partial-read loops)
+ *  - flaky:<rate>       open/read fails with a *transient* IoError on
+ *                       the first attempt(s), then succeeds -- the
+ *                       retry/backoff path's test vehicle
+ *
+ * Every decision -- whether a stream is afflicted, where the cut lands,
+ * which bits flip -- is a pure function of (TRB_FAULT, TRB_FAULT_SEED,
+ * stream name, byte position).  No global RNG sequence is consumed, so
+ * injection is bit-identical for any TRB_JOBS value, any read chunking,
+ * and any visit order; "the corrupted 10% of traces" is the same set on
+ * every run.
+ *
+ * With TRB_FAULT unset the injector is disabled and the hot paths pay
+ * one boolean test.
+ */
+
+#ifndef TRB_RESIL_FAULT_HH
+#define TRB_RESIL_FAULT_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "resil/status.hh"
+
+namespace trb
+{
+namespace resil
+{
+
+/** The injectable failure modes, in TRB_FAULT spelling order. */
+enum class FaultKind : unsigned
+{
+    Truncate = 0,
+    BitFlip,
+    Garbage,
+    ShortRead,
+    Flaky,
+};
+constexpr unsigned kNumFaultKinds = 5;
+
+/** TRB_FAULT spelling of a kind ("truncate", "short-read", ...). */
+const char *faultKindName(FaultKind kind);
+
+/** Parsed TRB_FAULT configuration: affliction probability per kind. */
+struct FaultSpec
+{
+    double rate[kNumFaultKinds] = {};
+
+    bool
+    any() const
+    {
+        for (double r : rate)
+            if (r > 0.0)
+                return true;
+        return false;
+    }
+
+    /**
+     * Parse "kind:rate,kind:rate,...".  Unknown kinds and rates outside
+     * [0, 1] are errors (CorruptRecord class -- it is the user's spec
+     * that is malformed, not a file).
+     */
+    static Expected<FaultSpec> parse(const std::string &text);
+};
+
+/** The faults resolved for one named stream, plus its noise seed. */
+struct FaultPlan
+{
+    bool truncate = false;
+    bool bitflip = false;
+    bool garbage = false;
+    bool shortRead = false;
+    unsigned transientFailures = 0;   //!< flaky: failures before success
+    std::uint64_t seed = 0;           //!< per-stream noise seed
+
+    /** Any fault that damages the byte stream itself. */
+    bool corrupting() const { return truncate || bitflip || garbage; }
+
+    bool
+    anyFault() const
+    {
+        return corrupting() || shortRead || transientFailures > 0;
+    }
+
+    /** Stream byte offset the truncate fault cuts at (plan-dependent). */
+    std::uint64_t truncateOffsetFor(std::uint64_t stream_size) const;
+
+    /** True if the byte at absolute @p offset gets a bit flipped. */
+    bool flipsByteAt(std::uint64_t offset) const;
+
+    /** Which bit (0..7) flips at @p offset (only if flipsByteAt). */
+    unsigned flipBitAt(std::uint64_t offset) const;
+
+    /** Start of the 64-byte garbage run (plan-dependent). */
+    std::uint64_t garbageOffsetFor(std::uint64_t stream_size) const;
+
+    /** Apply the corrupting faults to a whole in-memory stream. */
+    void corruptBuffer(std::vector<std::uint8_t> &bytes) const;
+
+    /** Apply bitflip/garbage to @p len bytes read at @p offset. */
+    void corruptChunk(std::uint8_t *data, std::size_t len,
+                      std::uint64_t offset) const;
+};
+
+/**
+ * The process-wide injector: TRB_FAULT / TRB_FAULT_SEED at first use,
+ * overridable for tests.  plan() is pure; the only mutable state is the
+ * per-stream attempt ledger behind the flaky fault.
+ */
+class FaultInjector
+{
+  public:
+    static FaultInjector &global();
+
+    /** Reconfigure (tests); also resets the flaky attempt ledger. */
+    void configure(const FaultSpec &spec, std::uint64_t seed);
+
+    /** Turn injection off (tests). */
+    void disable();
+
+    bool enabled() const { return enabled_; }
+
+    /** Resolve the deterministic fault plan for @p name. */
+    FaultPlan plan(const std::string &name) const;
+
+    /**
+     * Flaky bookkeeping: true if this (counted) attempt on @p name
+     * should fail with a transient IoError.  The first
+     * plan.transientFailures attempts fail; later ones succeed.
+     */
+    bool shouldFailTransiently(const std::string &name);
+
+    /** Forget all attempt history (tests). */
+    void resetAttempts();
+
+  private:
+    FaultInjector();
+
+    bool enabled_ = false;
+    FaultSpec spec_;
+    std::uint64_t seed_ = 0;
+
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, unsigned> attempts_;
+};
+
+} // namespace resil
+} // namespace trb
+
+#endif // TRB_RESIL_FAULT_HH

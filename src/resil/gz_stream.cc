@@ -1,0 +1,121 @@
+#include "resil/gz_stream.hh"
+
+#include <zlib.h>
+
+#include <algorithm>
+
+namespace trb
+{
+namespace resil
+{
+
+namespace
+{
+
+/** Streaming truncate cut: past the header, inside small fixtures. */
+constexpr std::uint64_t kStreamTruncateWindow = 4096;
+
+} // namespace
+
+Status
+GzInFile::open(const std::string &path)
+{
+    close();
+    path_ = path;
+    status_ = Status{};
+    offset_ = 0;
+    truncateAt_ = ~std::uint64_t{0};
+
+    FaultInjector &injector = FaultInjector::global();
+    if (injector.enabled()) {
+        plan_ = injector.plan(path);
+        if (injector.shouldFailTransiently(path)) {
+            status_ = Status::ioError("injected transient open failure")
+                          .at(path);
+            return status_;
+        }
+        if (plan_.truncate)
+            truncateAt_ = 20 + plan_.truncateOffsetFor(
+                                   kStreamTruncateWindow);
+    } else {
+        plan_ = FaultPlan{};
+        truncateAt_ = ~std::uint64_t{0};
+    }
+
+    gzFile f = gzopen(path.c_str(), "rb");
+    if (!f) {
+        status_ = Status::ioError("cannot open for reading").at(path);
+        return status_;
+    }
+    file_ = f;
+    return Status{};
+}
+
+int
+GzInFile::read(void *buf, unsigned len)
+{
+    if (!file_) {
+        status_ = Status::ioError("read on a closed stream").at(path_);
+        return -1;
+    }
+    if (len == 0)
+        return 0;
+    // Injected truncation: the stream "ends" at the planned offset.
+    if (offset_ >= truncateAt_)
+        return 0;
+    std::uint64_t remaining = truncateAt_ - offset_;
+    unsigned want = static_cast<unsigned>(
+        std::min<std::uint64_t>(len, remaining));
+    // Injected short reads: deliver at most half of what was asked.
+    if (plan_.shortRead && want > 1)
+        want = std::max(1u, want / 2);
+
+    int got = gzread(static_cast<gzFile>(file_), buf, want);
+    if (got < 0) {
+        int errnum = Z_OK;
+        const char *msg = gzerror(static_cast<gzFile>(file_), &errnum);
+        if (errnum == Z_ERRNO) {
+            status_ = Status::ioError(msg ? msg : "read error")
+                          .at(path_, offset_);
+        } else {
+            status_ = Status::corrupt(msg ? msg : "compressed data error")
+                          .at(path_, offset_)
+                          .rule("gz.stream");
+        }
+        return -1;
+    }
+    if (got > 0 && plan_.corrupting())
+        plan_.corruptChunk(static_cast<std::uint8_t *>(buf),
+                           static_cast<std::size_t>(got), offset_);
+    offset_ += static_cast<std::uint64_t>(got);
+    return got;
+}
+
+int
+GzInFile::readFully(void *buf, unsigned len)
+{
+    unsigned done = 0;
+    while (done < len) {
+        int got = read(static_cast<std::uint8_t *>(buf) + done,
+                       len - done);
+        if (got < 0)
+            return -1;
+        if (got == 0)
+            break;
+        done += static_cast<unsigned>(got);
+    }
+    return static_cast<int>(done);
+}
+
+void
+GzInFile::close()
+{
+    if (file_) {
+        gzclose(static_cast<gzFile>(file_));
+        file_ = nullptr;
+    }
+    truncateAt_ = ~std::uint64_t{0};
+}
+
+} // namespace resil
+} // namespace trb

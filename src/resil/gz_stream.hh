@@ -1,0 +1,86 @@
+/**
+ * @file
+ * GzInFile -- the zlib read path of every trace reader, wrapped for
+ * robustness and fault injection.
+ *
+ * readFully() loops over short reads (gzread may legally return less
+ * than asked), maps zlib failures onto the Status taxonomy (a data/CRC
+ * error is CorruptRecord, an errno-level failure is IoError), and
+ * tracks the absolute uncompressed offset for diagnostics.
+ *
+ * When TRB_FAULT is active, the stream consults its FaultPlan: opens
+ * fail transiently (flaky), reads are shortened (short-read), the
+ * stream ends early (truncate), and delivered bytes are corrupted
+ * in place (bitflip, garbage) -- deterministically per path, whatever
+ * the caller's chunking.
+ */
+
+#ifndef TRB_RESIL_GZ_STREAM_HH
+#define TRB_RESIL_GZ_STREAM_HH
+
+#include <cstdint>
+#include <string>
+
+#include "resil/fault.hh"
+#include "resil/status.hh"
+
+namespace trb
+{
+namespace resil
+{
+
+/** Robust, fault-injectable gz (or transparent raw) input stream. */
+class GzInFile
+{
+  public:
+    GzInFile() = default;
+    ~GzInFile() { close(); }
+
+    GzInFile(const GzInFile &) = delete;
+    GzInFile &operator=(const GzInFile &) = delete;
+
+    /**
+     * Open @p path for reading.  Consults the global FaultInjector:
+     * flaky-afflicted paths fail with a transient IoError first.
+     */
+    Status open(const std::string &path);
+
+    bool isOpen() const { return file_ != nullptr; }
+    const std::string &path() const { return path_; }
+
+    /** Uncompressed bytes delivered so far. */
+    std::uint64_t offset() const { return offset_; }
+
+    /**
+     * Read up to @p len bytes into @p buf; returns bytes delivered
+     * (0 at end of stream) or -1 with status() set.  A single call may
+     * deliver less than @p len; use readFully() unless partial reads
+     * are wanted.
+     */
+    int read(void *buf, unsigned len);
+
+    /**
+     * Read exactly @p len bytes unless the stream ends: loops over
+     * short reads, returns the bytes delivered (< len only at end of
+     * stream) or -1 with status() set.
+     */
+    int readFully(void *buf, unsigned len);
+
+    /** The error that made a read return -1; OK otherwise. */
+    const Status &status() const { return status_; }
+
+    void close();
+
+  private:
+    void *file_ = nullptr;   //!< gzFile, kept opaque here
+    std::string path_;
+    std::uint64_t offset_ = 0;
+    FaultPlan plan_;
+    std::uint64_t truncateAt_ = ~std::uint64_t{0};
+    Status status_;
+};
+
+} // namespace resil
+} // namespace trb
+
+#endif // TRB_RESIL_GZ_STREAM_HH

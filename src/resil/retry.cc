@@ -1,0 +1,46 @@
+#include "resil/retry.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+
+namespace trb
+{
+namespace resil
+{
+
+RetryPolicy
+RetryPolicy::fromEnv()
+{
+    RetryPolicy policy;
+    policy.maxAttempts = static_cast<unsigned>(
+        std::max<std::uint64_t>(1, envU64("TRB_RETRIES", 3)));
+    return policy;
+}
+
+unsigned
+backoffMs(const RetryPolicy &policy, unsigned n)
+{
+    unsigned delay = policy.baseDelayMs;
+    for (unsigned i = 1; i < n && delay < policy.maxDelayMs; ++i)
+        delay *= 2;
+    return std::min(delay, policy.maxDelayMs);
+}
+
+void
+noteRetry(const RetryPolicy &policy, unsigned attempt,
+          const std::string &what, const Status &status)
+{
+    obs::MetricsRegistry::global().addCounter("resil.retries");
+    unsigned delay = backoffMs(policy, attempt);
+    trb_warn("transient failure on ", what, " (attempt ", attempt, "): ",
+             status.toString(), "; retrying in ", delay, " ms");
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+}
+
+} // namespace resil
+} // namespace trb

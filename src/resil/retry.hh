@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Bounded retry with exponential backoff for transient (IoError-class)
+ * failures.  Everything else -- corruption, truncation, bad magic --
+ * fails immediately: retrying deterministic damage only wastes time.
+ *
+ * TRB_RETRIES caps the total attempts (default 3); backoff starts at
+ * one millisecond and doubles per retry, capped at 100 ms so a fully
+ * faulted suite cannot stall a sweep.  Each retry bumps the
+ * resil.retries obs counter.
+ */
+
+#ifndef TRB_RESIL_RETRY_HH
+#define TRB_RESIL_RETRY_HH
+
+#include <string>
+
+#include "resil/status.hh"
+
+namespace trb
+{
+namespace resil
+{
+
+/** Attempt and backoff bounds for withRetries(). */
+struct RetryPolicy
+{
+    unsigned maxAttempts = 3;      //!< total attempts, not retries
+    unsigned baseDelayMs = 1;      //!< first backoff; doubles per retry
+    unsigned maxDelayMs = 100;     //!< backoff ceiling
+
+    /** TRB_RETRIES (>= 1); backoff bounds are fixed. */
+    static RetryPolicy fromEnv();
+};
+
+/** Backoff before (1-based) retry @p n under @p policy, in ms. */
+unsigned backoffMs(const RetryPolicy &policy, unsigned n);
+
+/** Sleep and account one retry of @p what (resil.retries counter). */
+void noteRetry(const RetryPolicy &policy, unsigned attempt,
+               const std::string &what, const Status &status);
+
+/**
+ * Run @p fn (returning an Expected<T>) up to policy.maxAttempts times,
+ * retrying only retryable (IoError) failures with exponential backoff.
+ * Returns the first success or the last failure.
+ */
+template <typename F>
+auto
+withRetries(const RetryPolicy &policy, const std::string &what, F fn)
+    -> decltype(fn())
+{
+    unsigned attempts = policy.maxAttempts == 0 ? 1 : policy.maxAttempts;
+    for (unsigned attempt = 1;; ++attempt) {
+        auto result = fn();
+        if (result.ok() || !result.status().retryable() ||
+            attempt >= attempts)
+            return result;
+        noteRetry(policy, attempt, what, result.status());
+    }
+}
+
+} // namespace resil
+} // namespace trb
+
+#endif // TRB_RESIL_RETRY_HH

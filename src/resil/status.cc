@@ -1,0 +1,94 @@
+#include "resil/status.hh"
+
+#include <sstream>
+
+#include "obs/metrics.hh"
+
+namespace trb
+{
+
+const char *
+errorClassName(ErrorClass cls)
+{
+    switch (cls) {
+      case ErrorClass::Ok:
+        return "ok";
+      case ErrorClass::TruncatedInput:
+        return "truncated_input";
+      case ErrorClass::CorruptRecord:
+        return "corrupt_record";
+      case ErrorClass::IoError:
+        return "io_error";
+      case ErrorClass::BadMagic:
+        return "bad_magic";
+      case ErrorClass::Internal:
+        return "internal";
+    }
+    return "unknown";
+}
+
+Status::Status(ErrorClass cls, std::string msg)
+    : cls_(cls), message_(std::move(msg))
+{
+    // Every constructed error shows up in the standard metrics export.
+    obs::MetricsRegistry::global().addCounter(
+        std::string("resil.errors.") + errorClassName(cls));
+}
+
+Status
+Status::truncated(std::string msg)
+{
+    return Status(ErrorClass::TruncatedInput, std::move(msg));
+}
+
+Status
+Status::corrupt(std::string msg)
+{
+    return Status(ErrorClass::CorruptRecord, std::move(msg));
+}
+
+Status
+Status::ioError(std::string msg)
+{
+    return Status(ErrorClass::IoError, std::move(msg));
+}
+
+Status
+Status::badMagic(std::string msg)
+{
+    return Status(ErrorClass::BadMagic, std::move(msg));
+}
+
+Status
+Status::internal(std::string msg)
+{
+    return Status(ErrorClass::Internal, std::move(msg));
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "ok";
+    std::ostringstream os;
+    os << errorClassName(cls_) << ": " << message_;
+    bool open = false;
+    auto sep = [&]() -> std::ostream & {
+        os << (open ? ", " : " (");
+        open = true;
+        return os;
+    };
+    if (!path_.empty())
+        sep() << path_;
+    if (byteOffset_ != kNoPosition)
+        sep() << "byte " << byteOffset_;
+    if (recordIndex_ != kNoPosition)
+        sep() << "record " << recordIndex_;
+    if (!rule_.empty())
+        sep() << "rule " << rule_;
+    if (open)
+        os << ")";
+    return os.str();
+}
+
+} // namespace trb

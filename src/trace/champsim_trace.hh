@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "resil/status.hh"
 
 namespace trb
 {
@@ -148,10 +149,25 @@ static_assert(sizeof(ChampSimRecord) == 64,
 /** A whole ChampSim trace held in memory. */
 using ChampSimTrace = std::vector<ChampSimRecord>;
 
-/** Write a trace to @p path; ".gz"/".xz-free" -- gz or raw only. */
+/**
+ * Write a trace to @p path (".gz" suffix selects compression); returns
+ * a Status instead of dying, with gzwrite AND gzclose both checked --
+ * a flush failure at close is a real data loss, not a detail.
+ */
+Status tryWriteChampSimTrace(const std::string &path,
+                             const ChampSimTrace &trace);
+
+/**
+ * Read a ChampSim trace (raw or gz) with rich diagnostics: a partial
+ * final record is TruncatedInput carrying the byte offset and record
+ * index, stream-level zlib failures map to CorruptRecord/IoError.
+ */
+Expected<ChampSimTrace> tryReadChampSimTrace(const std::string &path);
+
+/** Write a trace to @p path; fatal on any error (legacy wrapper). */
 void writeChampSimTrace(const std::string &path, const ChampSimTrace &trace);
 
-/** Read a ChampSim trace (raw or gz); fatal on short reads. */
+/** Read a ChampSim trace (raw or gz); fatal on any error (legacy). */
 ChampSimTrace readChampSimTrace(const std::string &path);
 
 } // namespace trb

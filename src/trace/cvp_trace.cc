@@ -2,9 +2,11 @@
 
 #include <zlib.h>
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/logging.hh"
+#include "common/strings.hh"
 
 namespace trb
 {
@@ -14,6 +16,7 @@ namespace
 
 constexpr char kMagic[8] = {'T', 'R', 'B', '1', 'C', 'V', 'P', '\0'};
 constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kHeaderBytes = 20;
 
 void
 putU64(std::vector<std::uint8_t> &out, std::uint64_t v)
@@ -45,16 +48,38 @@ getU8(const std::uint8_t *data, std::size_t size, std::size_t &offset,
     return true;
 }
 
-/** Open for writing; ".gz" suffix selects compression, else transparent. */
-gzFile
-openForWrite(const std::string &path)
+/**
+ * Validate the 20-byte header (magic, version, count) shared by the
+ * in-memory parser and the streaming reader.  @p name labels
+ * diagnostics.  @p have is how many bytes @p data holds -- in the
+ * streaming case possibly fewer than the whole file.
+ */
+Status
+checkCvpHeader(const std::uint8_t *data, std::size_t have,
+               const std::string &name, std::uint64_t &count)
 {
-    bool compress = path.size() > 3 &&
-                    path.compare(path.size() - 3, 3, ".gz") == 0;
-    gzFile f = gzopen(path.c_str(), compress ? "wb6" : "wbT");
-    if (!f)
-        trb_fatal("cannot open trace file for writing: ", path);
-    return f;
+    if (have >= sizeof(kMagic) &&
+        std::memcmp(data, kMagic, sizeof(kMagic)) != 0)
+        return Status::badMagic("not a TraceRebase CVP-1 trace")
+            .at(name, 0)
+            .rule("cvp.magic");
+    if (have < kHeaderBytes)
+        return Status::truncated("CVP-1 header is " +
+                                 std::to_string(have) +
+                                 " bytes, need 20")
+            .at(name, have)
+            .rule("cvp.header");
+    std::uint32_t version = 0;
+    for (int i = 0; i < 4; ++i)
+        version |= static_cast<std::uint32_t>(data[8 + i]) << (8 * i);
+    if (version != kVersion)
+        return Status::corrupt("unsupported CVP-1 trace version " +
+                               std::to_string(version))
+            .at(name, 8)
+            .rule("cvp.version");
+    std::size_t at = 12;
+    getU64(data, have, at, count);
+    return Status{};
 }
 
 } // namespace
@@ -103,126 +128,225 @@ serializeCvpRecord(const CvpRecord &rec, std::vector<std::uint8_t> &out)
         putU64(out, rec.dstValue[i]);
 }
 
-bool
-deserializeCvpRecord(const std::uint8_t *data, std::size_t size,
-                     std::size_t &offset, CvpRecord &rec)
+CvpParse
+deserializeCvpRecordEx(const std::uint8_t *data, std::size_t size,
+                       std::size_t &offset, CvpRecord &rec)
 {
     std::size_t at = offset;
     rec = CvpRecord{};
     std::uint8_t byte = 0;
     if (!getU64(data, size, at, rec.pc) || !getU8(data, size, at, byte))
-        return false;
+        return CvpParse::NeedMore;
     if (byte > static_cast<std::uint8_t>(InstClass::Undef))
-        return false;
+        return CvpParse::BadData;
     rec.cls = static_cast<InstClass>(byte);
     if (isBranch(rec.cls)) {
         if (!getU8(data, size, at, byte))
-            return false;
+            return CvpParse::NeedMore;
         rec.taken = byte != 0;
         if (!getU64(data, size, at, rec.target))
-            return false;
+            return CvpParse::NeedMore;
     }
     if (isMem(rec.cls)) {
         if (!getU64(data, size, at, rec.ea) ||
             !getU8(data, size, at, rec.accessSize))
-            return false;
+            return CvpParse::NeedMore;
     }
-    if (!getU8(data, size, at, rec.numSrc) || rec.numSrc > kMaxCvpSrc)
-        return false;
+    if (!getU8(data, size, at, rec.numSrc))
+        return CvpParse::NeedMore;
+    if (rec.numSrc > kMaxCvpSrc)
+        return CvpParse::BadData;
     for (unsigned i = 0; i < rec.numSrc; ++i)
         if (!getU8(data, size, at, rec.src[i]))
-            return false;
-    if (!getU8(data, size, at, rec.numDst) || rec.numDst > kMaxCvpDst)
-        return false;
+            return CvpParse::NeedMore;
+    if (!getU8(data, size, at, rec.numDst))
+        return CvpParse::NeedMore;
+    if (rec.numDst > kMaxCvpDst)
+        return CvpParse::BadData;
     for (unsigned i = 0; i < rec.numDst; ++i)
         if (!getU8(data, size, at, rec.dst[i]))
-            return false;
+            return CvpParse::NeedMore;
     for (unsigned i = 0; i < rec.numDst; ++i)
         if (!getU64(data, size, at, rec.dstValue[i]))
-            return false;
+            return CvpParse::NeedMore;
     offset = at;
-    return true;
+    return CvpParse::Ok;
 }
 
-void
-writeCvpTrace(const std::string &path, const CvpTrace &trace)
+bool
+deserializeCvpRecord(const std::uint8_t *data, std::size_t size,
+                     std::size_t &offset, CvpRecord &rec)
 {
-    gzFile f = openForWrite(path);
+    return deserializeCvpRecordEx(data, size, offset, rec) == CvpParse::Ok;
+}
+
+std::vector<std::uint8_t>
+serializeCvpTrace(const CvpTrace &trace)
+{
+    std::vector<std::uint8_t> buf;
+    buf.reserve(kHeaderBytes + trace.size() * 32);
+    buf.insert(buf.end(), kMagic, kMagic + sizeof(kMagic));
+    for (int i = 0; i < 4; ++i)
+        buf.push_back(static_cast<std::uint8_t>(kVersion >> (8 * i)));
+    putU64(buf, trace.size());
+    for (const CvpRecord &rec : trace)
+        serializeCvpRecord(rec, buf);
+    return buf;
+}
+
+Expected<CvpTrace>
+parseCvpTrace(const std::uint8_t *data, std::size_t size,
+              const std::string &name)
+{
+    std::uint64_t count = 0;
+    if (Status st = checkCvpHeader(data, size, name, count); !st.ok())
+        return st;
+    CvpTrace trace;
+    trace.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(count, 1u << 22)));
+    std::size_t at = kHeaderBytes;
+    for (std::uint64_t i = 0; i < count; ++i) {
+        CvpRecord rec;
+        switch (deserializeCvpRecordEx(data, size, at, rec)) {
+          case CvpParse::Ok:
+            trace.push_back(rec);
+            break;
+          case CvpParse::NeedMore:
+            return Status::truncated(
+                       "CVP-1 trace ended mid-record: expected " +
+                       std::to_string(count) + " records, got " +
+                       std::to_string(i))
+                .at(name, at, i)
+                .rule("cvp.record-truncated");
+          case CvpParse::BadData:
+            return Status::corrupt("malformed CVP-1 record")
+                .at(name, at, i)
+                .rule("cvp.record");
+        }
+    }
+    if (at != size)
+        return Status::corrupt(std::to_string(size - at) +
+                               " trailing bytes after final record")
+            .at(name, at, count)
+            .rule("cvp.trailing");
+    return trace;
+}
+
+Status
+tryWriteCvpTrace(const std::string &path, const CvpTrace &trace)
+{
+    gzFile f = gzopen(path.c_str(),
+                      endsWith(path, ".gz") ? "wb6" : "wbT");
+    if (!f)
+        return Status::ioError("cannot open trace file for writing")
+            .at(path);
     std::vector<std::uint8_t> buf;
     buf.reserve(1u << 20);
     buf.insert(buf.end(), kMagic, kMagic + sizeof(kMagic));
     for (int i = 0; i < 4; ++i)
         buf.push_back(static_cast<std::uint8_t>(kVersion >> (8 * i)));
     putU64(buf, trace.size());
+    std::uint64_t written = 0;
     for (const CvpRecord &rec : trace) {
         serializeCvpRecord(rec, buf);
         if (buf.size() >= (1u << 20)) {
             if (gzwrite(f, buf.data(), static_cast<unsigned>(buf.size())) <=
                 0) {
                 gzclose(f);
-                trb_fatal("write error on trace file: ", path);
+                return Status::ioError("write error on trace file")
+                    .at(path, written);
             }
+            written += buf.size();
             buf.clear();
         }
     }
     if (!buf.empty() &&
         gzwrite(f, buf.data(), static_cast<unsigned>(buf.size())) <= 0) {
         gzclose(f);
-        trb_fatal("write error on trace file: ", path);
+        return Status::ioError("write error on trace file")
+            .at(path, written);
     }
-    gzclose(f);
+    written += buf.size();
+    if (gzclose(f) != Z_OK)
+        return Status::ioError("close/flush error on trace file")
+            .at(path, written);
+    return Status{};
+}
+
+Expected<CvpTrace>
+tryReadCvpTrace(const std::string &path)
+{
+    CvpTraceReader reader;
+    if (Status st = reader.open(path); !st.ok())
+        return st;
+    CvpTrace trace;
+    trace.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(reader.count(), 1u << 22)));
+    CvpRecord rec;
+    while (reader.next(rec))
+        trace.push_back(rec);
+    if (!reader.status().ok())
+        return reader.status();
+    if (Status st = reader.finish(); !st.ok())
+        return st;
+    return trace;
+}
+
+void
+writeCvpTrace(const std::string &path, const CvpTrace &trace)
+{
+    Status st = tryWriteCvpTrace(path, trace);
+    if (!st.ok())
+        trb_fatal(st.toString());
 }
 
 CvpTrace
 readCvpTrace(const std::string &path)
 {
-    CvpTraceReader reader(path);
-    CvpTrace trace;
-    trace.reserve(reader.count());
-    CvpRecord rec;
-    while (reader.next(rec))
-        trace.push_back(rec);
-    return trace;
+    Expected<CvpTrace> trace = tryReadCvpTrace(path);
+    if (!trace.ok())
+        trb_fatal(trace.status().toString());
+    return std::move(trace).value();
 }
 
 CvpTraceReader::CvpTraceReader(const std::string &path)
 {
-    gzFile f = gzopen(path.c_str(), "rb");
-    if (!f)
-        trb_fatal("cannot open trace file for reading: ", path);
-    file_ = f;
-    buffer_.resize(1u << 20);
-    buffer_.clear();
-    fill();
-    // Header: magic, version, count.
-    if (buffer_.size() < 20 ||
-        std::memcmp(buffer_.data(), kMagic, sizeof(kMagic)) != 0)
-        trb_fatal("not a TraceRebase CVP-1 trace: ", path);
-    std::uint32_t version = 0;
-    for (int i = 0; i < 4; ++i)
-        version |= static_cast<std::uint32_t>(buffer_[8 + i]) << (8 * i);
-    if (version != kVersion)
-        trb_fatal("unsupported CVP-1 trace version ", version, " in ", path);
-    pos_ = 12;
-    std::size_t at = pos_;
-    if (!getU64(buffer_.data(), buffer_.size(), at, count_))
-        trb_fatal("truncated CVP-1 trace header: ", path);
-    pos_ = at;
+    fatal_ = true;
+    Status st = open(path);
+    if (!st.ok())
+        trb_fatal(st.toString());
 }
 
-CvpTraceReader::~CvpTraceReader()
+Status
+CvpTraceReader::open(const std::string &path)
 {
-    if (file_)
-        gzclose(static_cast<gzFile>(file_));
+    buffer_.clear();
+    pos_ = 0;
+    bufferBase_ = 0;
+    eof_ = false;
+    count_ = 0;
+    delivered_ = 0;
+    status_ = Status{};
+    if (Status st = in_.open(path); !st.ok())
+        return st;
+    if (Status st = fill(); !st.ok())
+        return st;
+    if (Status st = checkCvpHeader(buffer_.data(), buffer_.size(), path,
+                                   count_);
+        !st.ok())
+        return st;
+    pos_ = kHeaderBytes;
+    return Status{};
 }
 
-void
+Status
 CvpTraceReader::fill()
 {
     if (eof_)
-        return;
+        return Status{};
     // Compact consumed bytes, then top the buffer up to capacity.
     if (pos_ > 0) {
+        bufferBase_ += pos_;
         buffer_.erase(buffer_.begin(),
                       buffer_.begin() + static_cast<std::ptrdiff_t>(pos_));
         pos_ = 0;
@@ -230,31 +354,76 @@ CvpTraceReader::fill()
     std::size_t old = buffer_.size();
     std::size_t want = (1u << 20) - old;
     buffer_.resize(old + want);
-    int got = gzread(static_cast<gzFile>(file_), buffer_.data() + old,
-                     static_cast<unsigned>(want));
-    if (got < 0)
-        trb_fatal("read error on CVP-1 trace");
+    int got = in_.readFully(buffer_.data() + old,
+                            static_cast<unsigned>(want));
+    if (got < 0) {
+        buffer_.resize(old);
+        return in_.status();
+    }
     buffer_.resize(old + static_cast<std::size_t>(got));
     if (static_cast<std::size_t>(got) < want)
         eof_ = true;
+    return Status{};
 }
 
 bool
 CvpTraceReader::next(CvpRecord &rec)
 {
-    if (delivered_ >= count_)
+    if (!status_.ok() || delivered_ >= count_)
         return false;
     std::size_t at = pos_;
-    if (!deserializeCvpRecord(buffer_.data(), buffer_.size(), at, rec)) {
-        fill();
+    CvpParse parsed =
+        deserializeCvpRecordEx(buffer_.data(), buffer_.size(), at, rec);
+    if (parsed == CvpParse::NeedMore && !eof_) {
+        if (Status st = fill(); !st.ok()) {
+            status_ = st;
+            if (fatal_)
+                trb_fatal(status_.toString());
+            return false;
+        }
         at = pos_;
-        if (!deserializeCvpRecord(buffer_.data(), buffer_.size(), at, rec))
-            trb_fatal("truncated CVP-1 trace: expected ", count_,
-                      " records, got ", delivered_);
+        parsed =
+            deserializeCvpRecordEx(buffer_.data(), buffer_.size(), at, rec);
+    }
+    if (parsed == CvpParse::NeedMore) {
+        status_ = Status::truncated(
+                      "CVP-1 trace ended mid-record: expected " +
+                      std::to_string(count_) + " records, got " +
+                      std::to_string(delivered_))
+                      .at(in_.path(), bufferBase_ + pos_, delivered_)
+                      .rule("cvp.record-truncated");
+        if (fatal_)
+            trb_fatal(status_.toString());
+        return false;
+    }
+    if (parsed == CvpParse::BadData) {
+        status_ = Status::corrupt("malformed CVP-1 record")
+                      .at(in_.path(), bufferBase_ + pos_, delivered_)
+                      .rule("cvp.record");
+        if (fatal_)
+            trb_fatal(status_.toString());
+        return false;
     }
     pos_ = at;
     ++delivered_;
     return true;
+}
+
+Status
+CvpTraceReader::finish()
+{
+    if (!status_.ok() || delivered_ < count_)
+        return Status{};
+    if (pos_ >= buffer_.size() && !eof_) {
+        if (Status st = fill(); !st.ok())
+            return st;
+    }
+    if (pos_ < buffer_.size())
+        return Status::corrupt(std::to_string(buffer_.size() - pos_) +
+                               "+ trailing bytes after final record")
+            .at(in_.path(), bufferBase_ + pos_, delivered_)
+            .rule("cvp.trailing");
+    return Status{};
 }
 
 } // namespace trb

@@ -29,6 +29,8 @@
 #include <vector>
 
 #include "common/types.hh"
+#include "resil/gz_stream.hh"
+#include "resil/status.hh"
 
 namespace trb
 {
@@ -114,6 +116,22 @@ using CvpTrace = std::vector<CvpRecord>;
 /** Serialise a single record, appending to @p out. */
 void serializeCvpRecord(const CvpRecord &rec, std::vector<std::uint8_t> &out);
 
+/** Why a single-record deserialisation stopped. */
+enum class CvpParse : std::uint8_t
+{
+    Ok,       //!< record parsed, offset advanced
+    NeedMore, //!< ran off the end of @p data -- truncated or refill
+    BadData,  //!< bytes present but violate a format rule
+};
+
+/**
+ * Deserialise a single record from @p data at @p offset (advanced past
+ * the record on Ok).  Distinguishes "not enough bytes" from "bytes that
+ * cannot be a record" so callers can classify truncation vs corruption.
+ */
+CvpParse deserializeCvpRecordEx(const std::uint8_t *data, std::size_t size,
+                                std::size_t &offset, CvpRecord &rec);
+
 /**
  * Deserialise a single record from @p data at @p offset (advanced past the
  * record).  Returns false on truncated input.
@@ -121,7 +139,31 @@ void serializeCvpRecord(const CvpRecord &rec, std::vector<std::uint8_t> &out);
 bool deserializeCvpRecord(const std::uint8_t *data, std::size_t size,
                           std::size_t &offset, CvpRecord &rec);
 
-/** Write a trace to @p path; a ".gz" suffix selects compression. */
+/** Serialise a whole trace (header + records) to an in-memory buffer. */
+std::vector<std::uint8_t> serializeCvpTrace(const CvpTrace &trace);
+
+/**
+ * Parse a whole serialised trace from memory.  Validates the magic,
+ * version, header count against records present, and rejects trailing
+ * bytes -- so any corruption of the buffer is detected.  @p name labels
+ * diagnostics (a file path or a synthetic trace name).
+ */
+Expected<CvpTrace> parseCvpTrace(const std::uint8_t *data, std::size_t size,
+                                 const std::string &name);
+
+/**
+ * Write a trace to @p path; ".gz" selects compression.  Both gzwrite
+ * and gzclose are checked: a flush failure at close is data loss.
+ */
+Status tryWriteCvpTrace(const std::string &path, const CvpTrace &trace);
+
+/**
+ * Read a trace written by writeCvpTrace() with rich diagnostics (byte
+ * offset, record index, violated rule) instead of dying.
+ */
+Expected<CvpTrace> tryReadCvpTrace(const std::string &path);
+
+/** Write a trace to @p path; fatal on any error (legacy wrapper). */
 void writeCvpTrace(const std::string &path, const CvpTrace &trace);
 
 /** Read a trace written by writeCvpTrace(); fatal on malformed input. */
@@ -130,31 +172,61 @@ CvpTrace readCvpTrace(const std::string &path);
 /**
  * Streaming reader over a CVP-1 trace file, for consumers that do not want
  * the whole trace in memory (the converter CLI uses this).
+ *
+ * Two modes: the legacy path-taking constructor keeps its fatal-on-error
+ * contract, while default-construct + open() reports a Status and next()
+ * returns false with status() set on malformed input.
  */
 class CvpTraceReader
 {
   public:
+    /** Non-fatal mode: construct empty, then open(). */
+    CvpTraceReader() = default;
+    /** Legacy fatal mode: dies on any open/format error. */
     explicit CvpTraceReader(const std::string &path);
-    ~CvpTraceReader();
+    ~CvpTraceReader() = default;
 
     CvpTraceReader(const CvpTraceReader &) = delete;
     CvpTraceReader &operator=(const CvpTraceReader &) = delete;
 
+    /** Open @p path and validate the header; non-fatal. */
+    Status open(const std::string &path);
+
     /** Instruction count promised by the header. */
     std::uint64_t count() const { return count_; }
 
-    /** Fetch the next record; false at end of trace. */
+    /** Records delivered so far. */
+    std::uint64_t delivered() const { return delivered_; }
+
+    /**
+     * Fetch the next record; false at end of trace or on error.  In
+     * non-fatal mode check status() to tell the two apart; in legacy
+     * mode errors are fatal.
+     */
     bool next(CvpRecord &rec);
 
-  private:
-    void fill();
+    /**
+     * After next() has returned false cleanly, verify nothing trails
+     * the promised records.  OK in all other error cases too (the
+     * earlier error stands).
+     */
+    Status finish();
 
-    void *file_ = nullptr;          //!< gzFile, kept opaque here
+    /** The error that stopped next(); OK at a clean end of trace. */
+    const Status &status() const { return status_; }
+
+  private:
+    Status fill();
+
+    resil::GzInFile in_;
     std::vector<std::uint8_t> buffer_;
     std::size_t pos_ = 0;
+    std::uint64_t bufferBase_ = 0; //!< file offset of buffer_[0]
     bool eof_ = false;
+    bool fatal_ = false;           //!< legacy mode: die instead of report
     std::uint64_t count_ = 0;
     std::uint64_t delivered_ = 0;
+    Status status_;
 };
 
 } // namespace trb

@@ -13,12 +13,29 @@
 #include "common/env.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
+#include "common/strings.hh"
 #include "common/types.hh"
 
 namespace trb
 {
 namespace
 {
+
+TEST(Strings, EndsWith)
+{
+    EXPECT_TRUE(endsWith("trace.cvp.gz", ".gz"));
+    EXPECT_TRUE(endsWith(".gz", ".gz"));
+    EXPECT_TRUE(endsWith("anything", ""));
+    EXPECT_TRUE(endsWith("", ""));
+
+    EXPECT_FALSE(endsWith("trace.cvp", ".gz"));
+    EXPECT_FALSE(endsWith("gz", ".gz"));          // shorter than the suffix
+    EXPECT_FALSE(endsWith("trace.gz.txt", ".gz"));
+    EXPECT_FALSE(endsWith("", ".gz"));
+
+    static_assert(endsWith("a.champsimtrace.gz", ".gz"));
+    static_assert(!endsWith("a.champsimtrace", ".gz"));
+}
 
 TEST(Types, LineHelpers)
 {

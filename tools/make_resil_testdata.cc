@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Regenerates the committed resilience fixtures under tests/data/resil/:
+ * small deterministic traces damaged in the exact ways the trb::resil
+ * error taxonomy classifies.  tests/test_resil.cc (and the CI fault
+ * smoke job) assert that every fixture produces its expected error
+ * class, a one-line diagnostic, and a non-zero tool exit -- never a
+ * crash.
+ *
+ *   clean.cvp.gz          valid control trace
+ *   truncated.cvp.gz      byte stream cut mid-record (TruncatedInput)
+ *   badmagic.cvp.gz       one bit flipped in the magic (BadMagic)
+ *   badversion.cvp.gz     header version corrupted (CorruptRecord)
+ *   garbage_tail.cvp.gz   noise appended past the final record
+ *                         (CorruptRecord, rule cvp.trailing)
+ *   clean.champsimtrace.gz       valid control trace
+ *   truncated.champsimtrace.gz   cut mid 64-byte record (TruncatedInput)
+ *
+ * Usage:  make_resil_testdata [output-dir]   (default tests/data/resil)
+ */
+
+#include <zlib.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "synth/generator.hh"
+#include "trace/champsim_trace.hh"
+#include "trace/cvp_trace.hh"
+
+namespace
+{
+
+using namespace trb;
+
+void
+writeGzBytes(const std::string &path, const std::vector<std::uint8_t> &bytes)
+{
+    gzFile f = gzopen(path.c_str(), "wb6");
+    if (!f) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        std::exit(1);
+    }
+    if (!bytes.empty() &&
+        gzwrite(f, bytes.data(), static_cast<unsigned>(bytes.size())) <= 0) {
+        std::fprintf(stderr, "write error on %s\n", path.c_str());
+        std::exit(1);
+    }
+    if (gzclose(f) != Z_OK) {
+        std::fprintf(stderr, "close error on %s\n", path.c_str());
+        std::exit(1);
+    }
+    std::printf("%s: %zu bytes\n", path.c_str(), bytes.size());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string dir = argc >= 2 ? argv[1] : "tests/data/resil";
+    std::filesystem::create_directories(dir);
+
+    CvpTrace cvp = TraceGenerator(serverParams(42)).generate(400);
+    std::vector<std::uint8_t> bytes = serializeCvpTrace(cvp);
+
+    writeGzBytes(dir + "/clean.cvp.gz", bytes);
+
+    // Cut mid-record, well past the header, count field left promising
+    // the full trace.
+    std::vector<std::uint8_t> truncated(
+        bytes.begin(), bytes.begin() + static_cast<long>(bytes.size() / 3));
+    writeGzBytes(dir + "/truncated.cvp.gz", truncated);
+
+    std::vector<std::uint8_t> badmagic = bytes;
+    badmagic[3] ^= 0x10;   // one bit in the magic
+    writeGzBytes(dir + "/badmagic.cvp.gz", badmagic);
+
+    std::vector<std::uint8_t> badversion = bytes;
+    badversion[9] = 0x7e;   // version u32 -> garbage
+    writeGzBytes(dir + "/badversion.cvp.gz", badversion);
+
+    std::vector<std::uint8_t> garbage_tail = bytes;
+    for (unsigned i = 0; i < 37; ++i)
+        garbage_tail.push_back(static_cast<std::uint8_t>(0xa5 + 13 * i));
+    writeGzBytes(dir + "/garbage_tail.cvp.gz", garbage_tail);
+
+    ChampSimTrace cs(100);
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+        cs[i].ip = 0x400000 + 4 * i;
+        cs[i].isBranch = (i % 10) == 9;
+        cs[i].branchTaken = cs[i].isBranch;
+    }
+    std::vector<std::uint8_t> cs_bytes(cs.size() * sizeof(ChampSimRecord));
+    std::memcpy(cs_bytes.data(), cs.data(), cs_bytes.size());
+    writeGzBytes(dir + "/clean.champsimtrace.gz", cs_bytes);
+
+    std::vector<std::uint8_t> cs_truncated(
+        cs_bytes.begin(), cs_bytes.begin() + 64 * 41 + 17);
+    writeGzBytes(dir + "/truncated.champsimtrace.gz", cs_truncated);
+
+    return 0;
+}

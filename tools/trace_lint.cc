@@ -17,7 +17,8 @@
  * harness's forEachTrace(), exactly like the bench binaries.
  *
  * Exit status: 0 clean (relative to --fail-on), 1 findings at or above
- * the --fail-on threshold, 2 usage or I/O error.
+ * the --fail-on threshold, 2 usage error or unreadable/corrupt input
+ * (one-line diagnostic on stderr, never a crash).
  */
 
 #include <cstring>
@@ -236,16 +237,11 @@ listRules()
 /** One lint job and its index-addressed result. */
 struct Job
 {
+    std::size_t index = 0;
     std::string name;
     std::string csPath;
     std::string cvpPath;   //!< empty: stream-only
 };
-
-bool
-readable(const std::string &path)
-{
-    return std::ifstream(path, std::ios::binary).good();
-}
 
 int
 runFiles(const CliOptions &opts, std::vector<std::string> &names,
@@ -254,33 +250,42 @@ runFiles(const CliOptions &opts, std::vector<std::string> &names,
     std::vector<Job> jobs;
     for (std::size_t i = 0; i < opts.traces.size(); ++i) {
         Job job;
+        job.index = i;
         job.csPath = opts.traces[i];
         job.name = opts.traces[i];
         if (i < opts.cvps.size())
             job.cvpPath = opts.cvps[i];
-        if (!readable(job.csPath)) {
-            std::cerr << "trace_lint: cannot read '" << job.csPath
-                      << "'\n";
-            return 2;
-        }
-        if (!job.cvpPath.empty() && !readable(job.cvpPath)) {
-            std::cerr << "trace_lint: cannot read '" << job.cvpPath
-                      << "'\n";
-            return 2;
-        }
         jobs.push_back(std::move(job));
     }
 
     // Index-addressed fan-out: report i always belongs to input i, so
-    // the output is schedule-independent.
+    // the output is schedule-independent.  Unreadable or corrupt inputs
+    // land a Status in their slot instead of killing the process; the
+    // first (in input order) is reported after the joins.
+    std::vector<Status> failed(jobs.size());
     reports = par::ThreadPool::global().parallelMap(
         jobs, [&](const Job &job) {
-            ChampSimTrace cs = readChampSimTrace(job.csPath);
+            Expected<ChampSimTrace> cs = tryReadChampSimTrace(job.csPath);
+            if (!cs.ok()) {
+                failed[job.index] = cs.status();
+                return lint::LintReport{};
+            }
             if (job.cvpPath.empty())
-                return lint::lintTrace(cs, opts.lintOpts);
-            CvpTrace cvp = readCvpTrace(job.cvpPath);
-            return lint::lintConverted(cvp, cs, opts.lintOpts);
+                return lint::lintTrace(cs.value(), opts.lintOpts);
+            Expected<CvpTrace> cvp = tryReadCvpTrace(job.cvpPath);
+            if (!cvp.ok()) {
+                failed[job.index] = cvp.status();
+                return lint::LintReport{};
+            }
+            return lint::lintConverted(cvp.value(), cs.value(),
+                                       opts.lintOpts);
         });
+    for (const Status &status : failed) {
+        if (!status.ok()) {
+            std::cerr << "trace_lint: " << status.toString() << "\n";
+            return 2;
+        }
+    }
     for (const Job &job : jobs)
         names.push_back(job.name);
     return 0;
