@@ -20,9 +20,10 @@
 
 #include "common/env.hh"
 #include "common/stats.hh"
+#include "common/strings.hh"
+#include "experiments/bench_main.hh"
 #include "experiments/experiment.hh"
 #include "synth/suites.hh"
-#include "obs/metrics.hh"
 
 namespace
 {
@@ -42,7 +43,7 @@ suiteIpc(const std::vector<TraceSpec> &suite, ImprovementSet imps,
         misp->assign(ipcs.size(), kNaN);
     forEachTrace(suite, [&](std::size_t i, const TraceSpec &,
                             const CvpTrace &cvp) {
-        SimStats s = simulateCvp(cvp, imps, params);
+        SimStats s = simulate(cvp, {.imps = imps, .params = params}).stats;
         ipcs[i] = s.ipc();
         if (misp)
             (*misp)[i] = s.branchMpki();
@@ -64,10 +65,11 @@ main()
     for (std::size_t i = 0; i < full.size(); i += 5)
         suite.push_back(full[i]);
 
-    std::printf("Ablation: front-end design choices "
-                "(%zu traces x %llu instructions, All_imps traces)\n\n",
-                suite.size(), static_cast<unsigned long long>(len));
-
+    return runBench(
+        strprintf("Ablation: front-end design choices "
+                  "(%zu traces x %llu instructions, All_imps traces)",
+                  suite.size(), static_cast<unsigned long long>(len)),
+        [&] {
     // --- 1. Direction predictor class. ---
     std::printf("1. direction predictor (geomean IPC / branch MPKI):\n");
     for (DirPredKind kind : {DirPredKind::TageScL, DirPredKind::Gshare,
@@ -109,7 +111,5 @@ main()
                     "(misclassified conditionals cost %+.1f%%)\n",
                     b, 100.0 * (b / a - 1.0));
     }
-
-    obs::finish();
-    return resil::harnessExitCode();
+        });
 }

@@ -16,9 +16,10 @@
 
 #include "common/env.hh"
 #include "common/stats.hh"
+#include "common/strings.hh"
+#include "experiments/bench_main.hh"
 #include "experiments/experiment.hh"
 #include "synth/suites.hh"
-#include "obs/metrics.hh"
 
 int
 main()
@@ -27,28 +28,28 @@ main()
 
     std::uint64_t len = traceLengthFromEnv(60000);
     auto suite = cvp1PublicSuite(len);
-    std::printf("Figure 1: geomean IPC variation per improvement "
-                "(CVP-1 public suite, %zu traces x %llu instructions)\n\n",
-                suite.size(), static_cast<unsigned long long>(len));
-    std::printf("%-15s %12s %14s\n", "improvement", "dIPC(geo)",
-                ">5% traces");
-    std::printf("%-15s %12s %14s\n", "-----------", "---------",
-                "----------");
+    return runBench(
+        strprintf("Figure 1: geomean IPC variation per improvement "
+                  "(CVP-1 public suite, %zu traces x %llu instructions)",
+                  suite.size(), static_cast<unsigned long long>(len)),
+        [&] {
+            std::printf("%-15s %12s %14s\n", "improvement", "dIPC(geo)",
+                        ">5% traces");
+            std::printf("%-15s %12s %14s\n", "-----------", "---------",
+                        "----------");
 
-    std::vector<SimStats> baseline;
-    auto series = runImprovementSweep(suite, figureOneSets(),
-                                      modernConfig(), &baseline);
-    for (const DeltaSeries &s : series)
-        std::printf("%-15s %+11.2f%% %10u/%zu\n", s.setName.c_str(),
-                    s.geomeanDeltaPercent(), s.countAbove(5.0),
-                    s.ratio.size());
+            std::vector<SimStats> baseline;
+            auto series = runImprovementSweep(suite, figureOneSets(),
+                                              modernConfig(), &baseline);
+            for (const DeltaSeries &s : series)
+                std::printf("%-15s %+11.2f%% %10u/%zu\n",
+                            s.setName.c_str(), s.geomeanDeltaPercent(),
+                            s.countAbove(5.0), s.ratio.size());
 
-    std::vector<double> ipcs;
-    for (const SimStats &b : baseline)
-        if (b.cycles)   // quarantined traces leave default (zero) stats
-            ipcs.push_back(b.ipc());
-    std::printf("\nbaseline geomean IPC %.3f\n", geomean(ipcs));
-
-    obs::finish();
-    return resil::harnessExitCode();
+            std::vector<double> ipcs;
+            for (const SimStats &b : baseline)
+                if (b.cycles)   // quarantined traces leave zero stats
+                    ipcs.push_back(b.ipc());
+            std::printf("\nbaseline geomean IPC %.3f\n", geomean(ipcs));
+        });
 }

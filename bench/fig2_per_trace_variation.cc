@@ -11,22 +11,24 @@
 #include <cstdio>
 
 #include "common/env.hh"
+#include "experiments/bench_main.hh"
 #include "experiments/experiment.hh"
 #include "synth/suites.hh"
-#include "obs/metrics.hh"
 
 int
 main()
 {
     using namespace trb;
 
+    return runBench("Figure 2: per-trace IPC variation (%), each column "
+                    "sorted descending",
+                    [&] {
     std::uint64_t len = traceLengthFromEnv(60000);
     auto suite = cvp1PublicSuite(len);
     auto series = runImprovementSweep(suite, figureOneSets(),
                                       modernConfig());
 
-    std::printf("Figure 2: per-trace IPC variation (%%), each column "
-                "sorted descending\n\n%-6s", "rank");
+    std::printf("%-6s", "rank");
     for (const DeltaSeries &s : series)
         std::printf(" %13s", s.setName.c_str());
     std::printf("\n");
@@ -48,7 +50,5 @@ main()
             std::printf(" %+12.2f%%", sorted[k][i]);
         std::printf("\n");
     }
-
-    obs::finish();
-    return resil::harnessExitCode();
+                    });
 }

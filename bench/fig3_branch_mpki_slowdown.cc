@@ -11,15 +11,19 @@
 #include <vector>
 
 #include "common/env.hh"
+#include "experiments/bench_main.hh"
 #include "experiments/experiment.hh"
+#include "store/store.hh"
 #include "synth/suites.hh"
-#include "obs/metrics.hh"
 
 int
 main()
 {
     using namespace trb;
 
+    return runBench("Figure 3: slowdown of branch-regs and flag-reg vs "
+                    "branch MPKI (sorted by MPKI)",
+                    [&] {
     std::uint64_t len = traceLengthFromEnv(60000);
     auto suite = cvp1PublicSuite(len);
     CoreParams params = modernConfig();
@@ -35,11 +39,20 @@ main()
     // concurrently, so each trace writes rows[i] instead of appending.
     std::vector<Row> rows(suiteCount(suite));
 
+    const bool storing = store::Store::global() != nullptr;
     forEachTrace(suite, [&](std::size_t i, const TraceSpec &spec,
                             const CvpTrace &cvp) {
-        SimStats base = simulateCvp(cvp, kImpNone, params);
-        SimStats br = simulateCvp(cvp, kImpBranchRegs, params);
-        SimStats fr = simulateCvp(cvp, kImpFlagReg, params);
+        store::Digest digest;
+        if (storing)
+            digest = store::digestCvpTrace(cvp);
+        const store::Digest *dp = storing ? &digest : nullptr;
+        SimStats base = simulate(cvp, {.imps = kImpNone, .params = params,
+                                       .cvpDigest = dp}).stats;
+        SimStats br = simulate(cvp, {.imps = kImpBranchRegs,
+                                     .params = params,
+                                     .cvpDigest = dp}).stats;
+        SimStats fr = simulate(cvp, {.imps = kImpFlagReg, .params = params,
+                                     .cvpDigest = dp}).stats;
         rows[i] = {spec.name, base.branchMpki(),
                    100.0 * (base.ipc() / br.ipc() - 1.0),
                    100.0 * (base.ipc() / fr.ipc() - 1.0)};
@@ -52,8 +65,6 @@ main()
     std::sort(rows.begin(), rows.end(),
               [](const Row &a, const Row &b) { return a.mpki < b.mpki; });
 
-    std::printf("Figure 3: slowdown of branch-regs and flag-reg vs "
-                "branch MPKI (sorted by MPKI)\n\n");
     std::printf("%-18s %10s %15s %15s\n", "trace", "brMPKI",
                 "branch-regs(%)", "flag-reg(%)");
     double corr_n = 0, slow_lo = 0, slow_hi = 0;
@@ -73,7 +84,5 @@ main()
                     "highest-MPKI quartile: %+0.2f%%\n",
                     slow_lo / q, slow_hi / q);
     }
-
-    obs::finish();
-    return resil::harnessExitCode();
+                    });
 }

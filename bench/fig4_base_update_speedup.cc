@@ -11,15 +11,19 @@
 #include <vector>
 
 #include "common/env.hh"
+#include "experiments/bench_main.hh"
 #include "experiments/experiment.hh"
+#include "store/store.hh"
 #include "synth/suites.hh"
-#include "obs/metrics.hh"
 
 int
 main()
 {
     using namespace trb;
 
+    return runBench("Figure 4: base-update speedup vs writeback-load density "
+                    "(sorted by density)",
+                    [&] {
     std::uint64_t len = traceLengthFromEnv(60000);
     auto suite = cvp1PublicSuite(len);
     CoreParams params = modernConfig();
@@ -34,10 +38,18 @@ main()
     // concurrently, so each trace writes rows[i] instead of appending.
     std::vector<Row> rows(suiteCount(suite));
 
+    const bool storing = store::Store::global() != nullptr;
     forEachTrace(suite, [&](std::size_t i, const TraceSpec &spec,
                             const CvpTrace &cvp) {
-        SimStats base = simulateCvp(cvp, kImpNone, params);
-        SimStats bu = simulateCvp(cvp, kImpBaseUpdate, params);
+        store::Digest digest;
+        if (storing)
+            digest = store::digestCvpTrace(cvp);
+        const store::Digest *dp = storing ? &digest : nullptr;
+        SimStats base = simulate(cvp, {.imps = kImpNone, .params = params,
+                                       .cvpDigest = dp}).stats;
+        SimStats bu = simulate(cvp, {.imps = kImpBaseUpdate,
+                                     .params = params,
+                                     .cvpDigest = dp}).stats;
         rows[i] = {spec.name, 100.0 * writebackLoadFraction(cvp),
                    100.0 * (bu.ipc() / base.ipc() - 1.0)};
     });
@@ -50,8 +62,6 @@ main()
         return a.wbLoadPct < b.wbLoadPct;
     });
 
-    std::printf("Figure 4: base-update speedup vs writeback-load density "
-                "(sorted by density)\n\n");
     std::printf("%-18s %14s %12s\n", "trace", "wb-loads(%)",
                 "speedup(%)");
     double lo = 0, hi = 0;
@@ -70,7 +80,5 @@ main()
                     "highest-density quartile: %+0.2f%%\n",
                     lo / q, hi / q);
     }
-
-    obs::finish();
-    return resil::harnessExitCode();
+                    });
 }

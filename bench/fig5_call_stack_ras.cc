@@ -12,15 +12,19 @@
 #include <vector>
 
 #include "common/env.hh"
+#include "experiments/bench_main.hh"
 #include "experiments/experiment.hh"
+#include "store/store.hh"
 #include "synth/suites.hh"
-#include "obs/metrics.hh"
 
 int
 main()
 {
     using namespace trb;
 
+    return runBench("Figure 5: call-stack fix on the highest return-MPKI "
+                    "traces (sorted descending)",
+                    [&] {
     std::uint64_t len = traceLengthFromEnv(60000);
     auto suite = cvp1PublicSuite(len);
     CoreParams params = modernConfig();
@@ -36,10 +40,18 @@ main()
     // concurrently, so each trace writes rows[i] instead of appending.
     std::vector<Row> rows(suiteCount(suite));
 
+    const bool storing = store::Store::global() != nullptr;
     forEachTrace(suite, [&](std::size_t i, const TraceSpec &spec,
                             const CvpTrace &cvp) {
-        SimStats base = simulateCvp(cvp, kImpNone, params);
-        SimStats fixed = simulateCvp(cvp, kImpCallStack, params);
+        store::Digest digest;
+        if (storing)
+            digest = store::digestCvpTrace(cvp);
+        const store::Digest *dp = storing ? &digest : nullptr;
+        SimStats base = simulate(cvp, {.imps = kImpNone, .params = params,
+                                       .cvpDigest = dp}).stats;
+        SimStats fixed = simulate(cvp, {.imps = kImpCallStack,
+                                        .params = params,
+                                        .cvpDigest = dp}).stats;
         rows[i] = {spec.name, base.returnMpki(), fixed.returnMpki(),
                    100.0 * (fixed.ipc() / base.ipc() - 1.0)};
     });
@@ -52,8 +64,6 @@ main()
         return a.rasMpkiOrig > b.rasMpkiOrig;
     });
 
-    std::printf("Figure 5: call-stack fix on the highest return-MPKI "
-                "traces (sorted descending)\n\n");
     std::printf("%-18s %14s %14s %12s\n", "trace", "retMPKI(orig)",
                 "retMPKI(fix)", "speedup(%)");
     std::size_t shown = std::min<std::size_t>(20, rows.size());
@@ -66,7 +76,5 @@ main()
                 "below)\n",
                 rows.size() - shown,
                 shown < rows.size() ? rows[shown].rasMpkiOrig : 0.0);
-
-    obs::finish();
-    return resil::harnessExitCode();
+                    });
 }

@@ -11,21 +11,22 @@
 #include <vector>
 
 #include "common/env.hh"
+#include "experiments/bench_main.hh"
 #include "experiments/experiment.hh"
 #include "synth/suites.hh"
-#include "obs/metrics.hh"
 
 int
 main()
 {
     using namespace trb;
 
+    return runBench("Table 2: IPC-1 trace characterisation with the "
+                    "improved converter (All_imps)",
+                    [&] {
     std::uint64_t len = traceLengthFromEnv(60000);
     auto suite = ipc1Suite(len);
     CoreParams params = modernConfig();
 
-    std::printf("Table 2: IPC-1 trace characterisation with the improved "
-                "converter (All_imps)\n\n");
     std::printf("%-20s %6s | %8s %10s %7s | %7s %7s %7s %7s\n", "trace",
                 "IPC", "brMPKI", "direction", "target", "L1I", "L1D",
                 "L2", "LLC");
@@ -38,7 +39,9 @@ main()
         // The paper runs whole (30M-instruction) traces without
         // warm-up; our synthetic traces are ~500x shorter, so half the
         // trace warms the structures to avoid cold-miss inflation.
-        SimStats s = simulateCvp(cvp, kAllImps, params, 0.5);
+        SimStats s = simulate(cvp, {.imps = kAllImps,
+                                    .params = params,
+                                    .warmupFraction = 0.5}).stats;
         char buf[160];
         std::snprintf(
             buf, sizeof(buf),
@@ -51,7 +54,5 @@ main()
     for (const std::string &line : lines)
         if (!line.empty())   // quarantined traces never wrote their slot
             std::printf("%s\n", line.c_str());
-
-    obs::finish();
-    return resil::harnessExitCode();
+                    });
 }

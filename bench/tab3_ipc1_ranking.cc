@@ -19,16 +19,19 @@
 
 #include "common/env.hh"
 #include "common/stats.hh"
+#include "experiments/bench_main.hh"
 #include "experiments/experiment.hh"
 #include "ipref/instr_prefetcher.hh"
 #include "synth/suites.hh"
-#include "obs/metrics.hh"
 
 int
 main()
 {
     using namespace trb;
 
+    // The title carries only one newline historically, so it is printed
+    // by the body; runBench gets an empty title.
+    return runBench("", [&] {
     // Temporal prefetchers need history reuse: this experiment defaults
     // to longer traces than the figures (override with TRB_TRACE_LEN).
     std::uint64_t len = traceLengthFromEnv(200000);
@@ -55,11 +58,15 @@ main()
         for (int v = 0; v < 2; ++v) {
             Cvp2ChampSim conv(sets[v]);
             ChampSimTrace trace = conv.convert(cvp);
-            SimStats base = simulateChampSim(trace, params, kWarmup);
+            SimStats base = simulate(ChampSimView(trace),
+                                     {.params = params,
+                                      .warmupFraction = kWarmup}).stats;
             for (const std::string &name : names) {
                 auto pf = makeInstrPrefetcher(name);
-                SimStats s =
-                    simulateChampSim(trace, params, kWarmup, pf.get());
+                SimStats s = simulate(ChampSimView(trace),
+                                      {.params = params,
+                                       .warmupFraction = kWarmup,
+                                       .ipref = pf.get()}).stats;
                 speedups[v].at(name)[i] = s.ipc() / base.ipc();
             }
         }
@@ -79,7 +86,5 @@ main()
             std::printf("%-6zu %-12s %.4f\n", r + 1,
                         ranking[r].second.c_str(), ranking[r].first);
     }
-
-    obs::finish();
-    return resil::harnessExitCode();
+    });
 }

@@ -29,7 +29,7 @@ main(int argc, char **argv)
     CvpTrace cvp = TraceGenerator(params).generate(length);
     CoreParams core = modernConfig();
 
-    SimStats base = simulateCvp(cvp, kImpNone, core);
+    SimStats base = simulate(cvp, {.imps = kImpNone, .params = core}).stats;
     std::printf("baseline (No_imp): IPC %.3f, branch MPKI %.2f, return "
                 "MPKI %.2f\n\n",
                 base.ipc(), base.branchMpki(), base.returnMpki());
@@ -39,7 +39,7 @@ main(int argc, char **argv)
     for (const NamedSet &ns : figureOneSets()) {
         Cvp2ChampSim conv(ns.set);
         ChampSimTrace out = conv.convert(cvp);
-        SimStats s = simulateChampSim(out, core);
+        SimStats s = simulate(ChampSimView(out), {.params = core}).stats;
         const ConvStats &cs = conv.stats();
 
         std::printf("%-15s %+8.2f%% %9zu %12.2f  ", ns.name,

@@ -69,7 +69,7 @@ main(int argc, char **argv)
                    .c_str(),
                stdout);
 
-    if (const char *path = std::getenv("TRB_PIPE_JSON");
+    if (const char *path = env::raw("TRB_PIPE_JSON");
         path && *path) {
         std::ofstream out(path);
         if (out) {

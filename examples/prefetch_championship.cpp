@@ -49,7 +49,9 @@ main(int argc, char **argv)
         for (int v = 0; v < 2; ++v) {
             Cvp2ChampSim conv(sets[v]);
             ChampSimTrace trace = conv.convert(cvp);
-            SimStats base = simulateChampSim(trace, core, 0.5);
+            SimStats base = simulate(ChampSimView(trace),
+                                     {.params = core,
+                                      .warmupFraction = 0.5}).stats;
             char buf[96];
             std::snprintf(buf, sizeof(buf),
                           "trace %zu (%s): baseline IPC %.3f, L1I MPKI "
@@ -59,7 +61,10 @@ main(int argc, char **argv)
             reports[i] += buf;
             for (const std::string &name : ipc1PrefetcherNames()) {
                 auto pf = makeInstrPrefetcher(name);
-                SimStats s = simulateChampSim(trace, core, 0.5, pf.get());
+                SimStats s = simulate(ChampSimView(trace),
+                                      {.params = core,
+                                       .warmupFraction = 0.5,
+                                       .ipref = pf.get()}).stats;
                 speedups[v].at(name)[i] = s.ipc() / base.ipc();
             }
         }

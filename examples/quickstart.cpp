@@ -53,8 +53,10 @@ main()
 
     // 3. Simulate on the paper's modern configuration.
     CoreParams core = modernConfig();
-    SimStats s_orig = simulateChampSim(trace_orig, core);
-    SimStats s_imp = simulateChampSim(trace_imp, core);
+    SimStats s_orig = simulate(ChampSimView(trace_orig),
+                               {.params = core}).stats;
+    SimStats s_imp = simulate(ChampSimView(trace_imp),
+                              {.params = core}).stats;
 
     // 4. Compare.
     std::printf("\n%-28s %10s %10s\n", "metric", "original", "improved");

@@ -1,5 +1,7 @@
 #include "common/logging.hh"
 
+#include "common/env.hh"
+
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
@@ -46,7 +48,7 @@ logLevel()
 {
     int level = g_log_level.load(std::memory_order_relaxed);
     if (level < 0) {
-        level = static_cast<int>(parseLogLevel(std::getenv("TRB_LOG")));
+        level = static_cast<int>(parseLogLevel(env::raw("TRB_LOG")));
         g_log_level.store(level, std::memory_order_relaxed);
     }
     return static_cast<LogLevel>(level);

@@ -8,10 +8,38 @@
 #ifndef TRB_COMMON_STRINGS_HH
 #define TRB_COMMON_STRINGS_HH
 
+#include <cstdarg>
+#include <cstdio>
+#include <string>
 #include <string_view>
 
 namespace trb
 {
+
+/** printf into a std::string (bench titles, diagnostics). */
+inline std::string
+#if defined(__GNUC__)
+    __attribute__((format(printf, 1, 2)))
+#endif
+strprintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list copy;
+    va_copy(copy, args);
+    int needed = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    std::string out;
+    if (needed > 0) {
+        // One slot for the terminator vsnprintf insists on writing,
+        // trimmed off after the fact.
+        out.resize(static_cast<std::size_t>(needed) + 1);
+        std::vsnprintf(out.data(), out.size(), fmt, args);
+        out.pop_back();
+    }
+    va_end(args);
+    return out;
+}
 
 /**
  * True if @p text ends with @p suffix.  Safe for any lengths -- the

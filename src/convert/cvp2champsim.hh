@@ -36,6 +36,14 @@
 namespace trb
 {
 
+/**
+ * Conversion algorithm version, part of every stored converted-trace
+ * artifact's key.  Bump whenever a change alters the records any
+ * (trace, ImprovementSet) pair converts to, or stale store artifacts
+ * will silently serve the old conversion.
+ */
+constexpr unsigned kConverterVersion = 1;
+
 /** Outcome of the addressing-mode inference heuristic. */
 enum class BaseUpdateKind : std::uint8_t
 {

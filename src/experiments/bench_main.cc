@@ -1,0 +1,21 @@
+#include "experiments/bench_main.hh"
+
+#include <cstdio>
+
+#include "obs/metrics.hh"
+#include "resil/failure.hh"
+
+namespace trb
+{
+
+int
+runBench(const std::string &title, const std::function<void()> &body)
+{
+    if (!title.empty())
+        std::printf("%s\n\n", title.c_str());
+    body();
+    obs::finish();
+    return resil::harnessExitCode();
+}
+
+} // namespace trb

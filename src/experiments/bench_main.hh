@@ -1,0 +1,41 @@
+/**
+ * @file
+ * The shared main() of every bench binary.
+ *
+ * Each bench used to open with a hand-rolled title printf and close with
+ * the same obs::finish() / resil::harnessExitCode() tail; runBench()
+ * owns both, so a bench main is just its experiment body:
+ *
+ *     int main()
+ *     {
+ *         return trb::runBench(
+ *             strprintf("Figure N: ... (%zu traces)", suite.size()),
+ *             [&] { ... printf rows ... });
+ *     }
+ *
+ * The title is printed first (followed by a blank line, the historical
+ * layout), the body runs, and the tail publishes the observability
+ * artifacts and folds any quarantined traces into the exit code.  The
+ * printed bytes are identical to the pre-runBench binaries, which is
+ * what the determinism CI diffs against.
+ */
+
+#ifndef TRB_EXPERIMENTS_BENCH_MAIN_HH
+#define TRB_EXPERIMENTS_BENCH_MAIN_HH
+
+#include <functional>
+#include <string>
+
+namespace trb
+{
+
+/**
+ * Run one bench binary: print @p title (skipped when empty), execute
+ * @p body, then obs::finish() and return resil::harnessExitCode().
+ */
+int runBench(const std::string &title,
+             const std::function<void()> &body);
+
+} // namespace trb
+
+#endif // TRB_EXPERIMENTS_BENCH_MAIN_HH

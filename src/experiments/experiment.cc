@@ -16,6 +16,7 @@
 #include "resil/checkpoint.hh"
 #include "resil/fault.hh"
 #include "resil/retry.hh"
+#include "store/store.hh"
 #include "synth/generator.hh"
 
 namespace trb
@@ -239,10 +240,18 @@ runImprovementSweep(const std::vector<TraceSpec> &suite,
 
     obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
     par::ThreadPool &pool = par::ThreadPool::global();
+    const bool storing = store::Store::global() != nullptr;
     forEachTrace(
         suite,
         [&](std::size_t i, const TraceSpec &, const CvpTrace &cvp) {
             const std::string cell_tag = "t" + std::to_string(i);
+            // One digest serves this trace's whole row of store
+            // lookups (base + every improvement set).
+            store::Digest cvp_digest;
+            if (storing)
+                cvp_digest = store::digestCvpTrace(cvp);
+            const store::Digest *digest_ptr =
+                storing ? &cvp_digest : nullptr;
             SimStats base;
             bool restored = false;
             if (checkpoint) {
@@ -251,7 +260,10 @@ runImprovementSweep(const std::vector<TraceSpec> &suite,
                            SimStats::fromBits(bits, base);
             }
             if (!restored) {
-                base = simulateCvp(cvp, kImpNone, params);
+                base = simulate(cvp, {.imps = kImpNone,
+                                      .params = params,
+                                      .cvpDigest = digest_ptr})
+                           .stats;
                 if (checkpoint)
                     checkpoint->record(cell_tag + ".base", base.toBits());
             }
@@ -282,7 +294,10 @@ runImprovementSweep(const std::vector<TraceSpec> &suite,
                 obs::ScopeTimer set_timer(std::string("set.") +
                                           sets[k].name);
                 set_timer.setItems(cvp.size());
-                SimStats s = simulateCvp(cvp, sets[k].set, params);
+                SimStats s = simulate(cvp, {.imps = sets[k].set,
+                                            .params = params,
+                                            .cvpDigest = digest_ptr})
+                                 .stats;
                 series[k].ratio[i] = s.ipc() / base.ipc();
                 if (checkpoint)
                     checkpoint->record(

@@ -387,7 +387,7 @@ writeReportJson(std::ostream &os, const LintReport &report,
 bool
 lintEnabledFromEnv()
 {
-    static const bool enabled = envU64("TRB_LINT", 0) != 0;
+    static const bool enabled = env::u64("TRB_LINT", 0) != 0;
     return enabled;
 }
 

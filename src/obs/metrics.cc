@@ -1,5 +1,7 @@
 #include "obs/metrics.hh"
 
+#include "common/env.hh"
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -351,7 +353,7 @@ namespace
 bool
 writeFile(const char *env, const std::string &text, const char *what)
 {
-    const char *path = std::getenv(env);
+    const char *path = trb::env::raw(env);
     if (!path || !*path)
         return false;
     std::ofstream out(path);

@@ -31,7 +31,7 @@ PipelineTracer::PipelineTracer(std::size_t capacity)
 std::size_t
 PipelineTracer::capacityFromEnv(std::size_t def)
 {
-    return std::max<std::uint64_t>(envU64("TRB_TRACE_BUF", def), 1);
+    return std::max<std::uint64_t>(env::u64("TRB_TRACE_BUF", def), 1);
 }
 
 PipelineTracer &

@@ -19,7 +19,7 @@ thread_local std::size_t tl_worker_id = 0;
 std::size_t
 jobsFromEnv()
 {
-    std::uint64_t jobs = envU64("TRB_JOBS", 0);
+    std::uint64_t jobs = env::u64("TRB_JOBS", 0);
     if (jobs == 0)
         jobs = std::thread::hardware_concurrency();
     return jobs == 0 ? 1 : static_cast<std::size_t>(jobs);

@@ -150,7 +150,7 @@ O3Core::predictBranch(const ChampSimRecord &rec, BranchType type,
 }
 
 SimStats
-O3Core::run(const ChampSimTrace &trace, std::uint64_t warmup)
+O3Core::run(ChampSimView trace, std::uint64_t warmup)
 {
     const Cycle l1i_hit = params_.mem.l1i.latency;
     warmup = std::min<std::uint64_t>(warmup, trace.size());

@@ -60,11 +60,13 @@ class O3Core
                     InstrPrefetcher *ipref = nullptr);
 
     /**
-     * Simulate the trace.
+     * Simulate the trace.  Takes a non-owning view, so the record array
+     * can live in a ChampSimTrace vector or an mmap'd store artifact;
+     * a ChampSimTrace converts implicitly.
      * @param warmup leading instructions excluded from the statistics
      * @return measurement-phase statistics
      */
-    SimStats run(const ChampSimTrace &trace, std::uint64_t warmup = 0);
+    SimStats run(ChampSimView trace, std::uint64_t warmup = 0);
 
     /**
      * Attach (or detach with nullptr) a pipeline event tracer: every

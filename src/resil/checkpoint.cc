@@ -1,5 +1,7 @@
 #include "resil/checkpoint.hh"
 
+#include "common/env.hh"
+
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
@@ -137,10 +139,10 @@ Checkpoint::fromEnv(const std::string &signature)
 {
     std::string path = g_test_path;
     if (path.empty()) {
-        const char *env = std::getenv("TRB_CHECKPOINT");
-        if (!env || !*env)
+        const char *value = env::raw("TRB_CHECKPOINT");
+        if (!value || !*value)
             return nullptr;
-        path = env;
+        path = value;
     }
     return open(path, signature);
 }

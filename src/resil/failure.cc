@@ -1,5 +1,7 @@
 #include "resil/failure.hh"
 
+#include "common/env.hh"
+
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -96,7 +98,7 @@ FailureReport::global()
 bool
 dumpGlobalReportIfRequested()
 {
-    const char *path = std::getenv("TRB_FAILURE_REPORT");
+    const char *path = env::raw("TRB_FAILURE_REPORT");
     if (!path || !*path)
         return false;
     std::ofstream file(path);

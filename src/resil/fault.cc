@@ -196,14 +196,14 @@ FaultPlan::corruptChunk(std::uint8_t *data, std::size_t len,
 
 FaultInjector::FaultInjector()
 {
-    const char *text = std::getenv("TRB_FAULT");
+    const char *text = env::raw("TRB_FAULT");
     if (!text || !*text)
         return;
     Expected<FaultSpec> parsed = FaultSpec::parse(text);
     if (!parsed.ok())
         trb_fatal(parsed.status().toString());
     spec_ = parsed.value();
-    seed_ = envU64("TRB_FAULT_SEED", 1);
+    seed_ = env::u64("TRB_FAULT_SEED", 1);
     enabled_ = spec_.any();
     if (enabled_)
         trb_inform("fault injection enabled: TRB_FAULT=", text,

@@ -18,7 +18,7 @@ RetryPolicy::fromEnv()
 {
     RetryPolicy policy;
     policy.maxAttempts = static_cast<unsigned>(
-        std::max<std::uint64_t>(1, envU64("TRB_RETRIES", 3)));
+        std::max<std::uint64_t>(1, env::u64("TRB_RETRIES", 3)));
     return policy;
 }
 

@@ -1,6 +1,8 @@
 #include "sim/simulator.hh"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstring>
 
 #include "convert/improvements.hh"
 #include "lint/lint.hh"
@@ -8,6 +10,156 @@
 
 namespace trb
 {
+
+namespace
+{
+
+/**
+ * Result-key schema version.  Bump whenever anything that influences a
+ * SimStats value but is not spelled in the key changes (the core model
+ * itself, the stat layout, the warm-up arithmetic, ...), or stale store
+ * artifacts will silently serve old results.
+ */
+constexpr unsigned kSimKeyVersion = 1;
+
+std::string
+hexBits(double value)
+{
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &value, sizeof(bits));
+    char buf[19];
+    std::snprintf(buf, sizeof(buf), "0x%016llx",
+                  static_cast<unsigned long long>(bits));
+    return buf;
+}
+
+void
+appendCacheKey(std::string &key, const char *tag, const CacheParams &c)
+{
+    key += tag;
+    key += '=';
+    key += std::to_string(c.sizeBytes);
+    key += '/';
+    key += std::to_string(c.ways);
+    key += '/';
+    key += std::to_string(c.latency);
+    key += '/';
+    key += std::to_string(static_cast<unsigned>(c.policy));
+    key += ';';
+}
+
+/**
+ * Canonical spelling of every CoreParams field.  Exhaustive on purpose:
+ * a field missing here would alias two different configurations onto
+ * one result artifact.
+ */
+std::string
+coreParamsKey(const CoreParams &p)
+{
+    std::string key;
+    key += "fw=" + std::to_string(p.fetchWidth);
+    key += ";iw=" + std::to_string(p.issueWidth);
+    key += ";rw=" + std::to_string(p.retireWidth);
+    key += ";rob=" + std::to_string(p.robSize);
+    key += ";fd=" + std::to_string(p.frontendDepth);
+    key += ";mp=" + std::to_string(p.mispredictPenalty);
+    key += ";drp=" + std::to_string(p.decodeRedirectPenalty);
+    key += ";dfe=" + std::to_string(p.decoupledFrontEnd ? 1 : 0);
+    key += ";ftq=" + std::to_string(p.ftqLookahead);
+    key += ";it=" + std::to_string(p.idealTargets ? 1 : 0);
+    key += ";rules=" + std::to_string(static_cast<int>(p.rules));
+    key += ";dir=" + std::to_string(static_cast<int>(p.dirPred));
+    key += ";btb=" + std::to_string(p.btbEntries);
+    key += ";btbw=" + std::to_string(p.btbWays);
+    key += ";ras=" + std::to_string(p.rasEntries);
+    key += ';';
+    appendCacheKey(key, "l1i", p.mem.l1i);
+    appendCacheKey(key, "l1d", p.mem.l1d);
+    appendCacheKey(key, "l2", p.mem.l2);
+    appendCacheKey(key, "llc", p.mem.llc);
+    key += "dram=" + std::to_string(p.mem.dramLatency);
+    key += ";l1dpf=" + std::to_string(p.mem.l1dIpStride ? 1 : 0);
+    key += ";l2pf=" + std::to_string(p.mem.l2NextLine ? 1 : 0);
+    return key;
+}
+
+/** Key of a converted-trace artifact. */
+std::string
+traceKeyString(const store::Digest &cvp_digest, ImprovementSet imps)
+{
+    char imps_hex[11];
+    std::snprintf(imps_hex, sizeof(imps_hex), "0x%x", imps);
+    return std::string("trace;conv=") + std::to_string(kConverterVersion) +
+           ";imps=" + imps_hex + ";cvp=" + cvp_digest.hex();
+}
+
+/** Key of a SimStats artifact; @p src identifies the simulated input. */
+std::string
+statsKeyString(const std::string &src, const SimRequest &req,
+               const std::string &ipref_id)
+{
+    return std::string("stats;sim=") + std::to_string(kSimKeyVersion) +
+           ";src=" + src + ";core=" + coreParamsKey(req.params) +
+           ";warm=" + hexBits(req.warmupFraction) +
+           ";ipref=" + ipref_id;
+}
+
+/** The store this request uses; nullptr when memoization is off. */
+store::Store *
+resolveStore(const SimRequest &req)
+{
+    if (!req.useStore)
+        return nullptr;
+    return req.store ? req.store : store::Store::global();
+}
+
+/** Result-keying identity of the request's prefetcher. */
+std::string
+resolveIprefId(const SimRequest &req)
+{
+    if (!req.iprefId.empty())
+        return req.iprefId;
+    return req.ipref ? req.ipref->name() : "";
+}
+
+/** The uncached tail: run the core model over @p trace. */
+SimStats
+runCore(ChampSimView trace, const SimRequest &req)
+{
+    obs::ScopeTimer timer("simulate");
+    timer.setItems(trace.size());
+    O3Core core(req.params, req.ipref);
+    auto warmup = static_cast<std::uint64_t>(
+        req.warmupFraction * static_cast<double>(trace.size()));
+    return core.run(trace, warmup);
+}
+
+/**
+ * Stats-memoized core run: serve the SimStats from @p st if present,
+ * else simulate and publish.  @p from_store reports a hit.
+ */
+SimStats
+runCoreThroughStore(ChampSimView trace, const SimRequest &req,
+                    store::Store *st, const std::string &stats_key,
+                    bool &from_store)
+{
+    from_store = false;
+    if (st) {
+        std::vector<std::uint64_t> bits;
+        SimStats stats;
+        if (st->loadBits(stats_key, bits) &&
+            SimStats::fromBits(bits, stats)) {
+            from_store = true;
+            return stats;
+        }
+    }
+    SimStats stats = runCore(trace, req);
+    if (st)
+        st->putBits(stats_key, stats.toBits());
+    return stats;
+}
+
+} // namespace
 
 CoreParams
 modernConfig()
@@ -37,24 +189,66 @@ ipc1Config()
     return p;
 }
 
-SimStats
-simulateChampSim(const ChampSimTrace &trace, const CoreParams &params,
-                 double warmupFraction, InstrPrefetcher *ipref)
+SimResult
+simulate(ChampSimView trace, const SimRequest &req)
 {
-    obs::ScopeTimer timer("simulate");
-    timer.setItems(trace.size());
-    O3Core core(params, ipref);
-    auto warmup = static_cast<std::uint64_t>(
-        warmupFraction * static_cast<double>(trace.size()));
-    return core.run(trace, warmup);
+    SimResult result;
+    store::Store *st = resolveStore(req);
+    if (!st) {
+        result.stats = runCore(trace, req);
+        return result;
+    }
+    std::string src = "cs:" + store::digestChampSimTrace(trace).hex();
+    std::string stats_key = statsKeyString(src, req, resolveIprefId(req));
+    result.stats = runCoreThroughStore(trace, req, st, stats_key,
+                                       result.statsFromStore);
+    return result;
 }
 
-SimStats
-simulateCvp(const CvpTrace &cvp, ImprovementSet imps,
-            const CoreParams &params, double warmupFraction,
-            InstrPrefetcher *ipref)
+SimResult
+simulate(const CvpTrace &cvp, const SimRequest &req)
 {
-    Cvp2ChampSim conv(imps);
+    SimResult result;
+    store::Store *st = resolveStore(req);
+
+    std::string trace_key;
+    std::string stats_key;
+    if (st) {
+        store::Digest cvp_digest =
+            req.cvpDigest ? *req.cvpDigest : store::digestCvpTrace(cvp);
+        trace_key = traceKeyString(cvp_digest, req.imps);
+        stats_key = statsKeyString(trace_key, req, resolveIprefId(req));
+
+        // Fast path: the whole run is memoized.
+        std::vector<std::uint64_t> bits;
+        if (st->loadBits(stats_key, bits) &&
+            SimStats::fromBits(bits, result.stats)) {
+            result.statsFromStore = true;
+            return result;
+        }
+
+        // Middle path: conversion is memoized; simulate the mmap'd
+        // records without materialising a vector (unless lint wants
+        // one -- lint-on-ingest re-checks served artifacts).
+        store::TraceHandle handle;
+        if (st->loadTrace(trace_key, handle)) {
+            result.traceFromStore = true;
+            if (lint::lintEnabledFromEnv()) {
+                ChampSimTrace copy(handle.view().begin(),
+                                   handle.view().end());
+                obs::ScopeTimer timer("lint");
+                timer.setItems(copy.size());
+                lint::maybeLintConverted(improvementSetName(req.imps),
+                                         cvp, copy);
+            }
+            result.stats = runCoreThroughStore(handle.view(), req, st,
+                                               stats_key,
+                                               result.statsFromStore);
+            return result;
+        }
+    }
+
+    Cvp2ChampSim conv(req.imps);
     ChampSimTrace trace = [&] {
         obs::ScopeTimer timer("convert");
         timer.setItems(cvp.size());
@@ -63,9 +257,42 @@ simulateCvp(const CvpTrace &cvp, ImprovementSet imps,
     if (lint::lintEnabledFromEnv()) {
         obs::ScopeTimer timer("lint");
         timer.setItems(trace.size());
-        lint::maybeLintConverted(improvementSetName(imps), cvp, trace);
+        lint::maybeLintConverted(improvementSetName(req.imps), cvp, trace);
     }
-    return simulateChampSim(trace, params, warmupFraction, ipref);
+    if (st)
+        st->putTrace(trace_key, trace);
+    result.stats = runCoreThroughStore(trace, req, st, stats_key,
+                                       result.statsFromStore);
+    return result;
 }
+
+// The wrappers below are themselves the deprecated entry points.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+SimStats
+simulateChampSim(const ChampSimTrace &trace, const CoreParams &params,
+                 double warmupFraction, InstrPrefetcher *ipref)
+{
+    return simulate(ChampSimView(trace),
+                    SimRequest{.params = params,
+                               .warmupFraction = warmupFraction,
+                               .ipref = ipref})
+        .stats;
+}
+
+SimStats
+simulateCvp(const CvpTrace &cvp, ImprovementSet imps,
+            const CoreParams &params, double warmupFraction,
+            InstrPrefetcher *ipref)
+{
+    return simulate(cvp, SimRequest{.imps = imps,
+                                    .params = params,
+                                    .warmupFraction = warmupFraction,
+                                    .ipref = ipref})
+        .stats;
+}
+
+#pragma GCC diagnostic pop
 
 } // namespace trb

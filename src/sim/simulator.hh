@@ -1,7 +1,7 @@
 /**
  * @file
  * Simulator facade: the two configurations the paper evaluates on, and
- * one-call helpers that run a CVP-1 trace through conversion and the
+ * the one-call entry point that runs a trace through conversion and the
  * core model.
  *
  *  - modernConfig(): the Section 4 setup -- decoupled front-end, 16K BTB,
@@ -12,12 +12,28 @@
  *    paper's Section 4.4 re-evaluation, which also carries the branch
  *    identification patch).
  *
- * Thread safety: both helpers are pure -- each call builds its own
+ * Everything a run depends on travels in one SimRequest options struct,
+ * designed for designated initializers:
+ *
+ *     SimResult r = simulate(cvp, {.imps = kImpAll,
+ *                                  .params = modernConfig(),
+ *                                  .warmupFraction = 0.5});
+ *
+ * When a store is active (TRB_STORE, or SimRequest::store), simulate()
+ * transparently memoizes both pipeline stages: the converted trace
+ * (served back zero-copy from an mmap) and the final SimStats (restored
+ * from exact u64 bit patterns).  Hits are bit-identical to misses by
+ * construction, so enabling the store never changes a result -- only how
+ * fast it arrives.
+ *
+ * Thread safety: simulate() is pure -- each call builds its own
  * converter and O3Core and touches no shared mutable state -- so the
- * experiment harness calls them concurrently from pool workers (see
- * docs/parallelism.md).  The one caveat is the optional @c ipref
- * argument: the prefetcher instance is mutated during simulation, so
- * concurrent calls must each pass their own instance (or share none).
+ * experiment harness calls it concurrently from pool workers (see
+ * docs/parallelism.md).  The one caveat is the optional @c ipref: the
+ * prefetcher instance is mutated during simulation, so concurrent calls
+ * must each pass their own instance.  A *pre-trained* prefetcher also
+ * breaks the "result is a function of the request" premise stats
+ * caching rests on: pass `.useStore = false` for such runs.
  */
 
 #ifndef TRB_SIM_SIMULATOR_HH
@@ -32,6 +48,7 @@
 #include "pipeline/core_params.hh"
 #include "pipeline/o3core.hh"
 #include "pipeline/sim_stats.hh"
+#include "store/store.hh"
 #include "trace/cvp_trace.hh"
 
 namespace trb
@@ -44,27 +61,102 @@ CoreParams modernConfig();
 CoreParams ipc1Config();
 
 /**
- * One full experiment step: convert @p cvp under @p imps and simulate.
- *
- * Deterministic: the result depends only on the arguments, never on
- * scheduling -- the property the parallel harness's bit-identical
- * output rests on.
- *
- * @param warmupFraction leading fraction of the *converted* trace whose
- *        statistics are discarded (the IPC-1 methodology warms up half)
- * @param ipref optional instruction prefetcher plugged into the L1I;
- *        mutated by the run, so never share one instance across
- *        concurrent calls
+ * Everything one simulation run depends on.  Field order is part of the
+ * API: designated initializers must list fields in declaration order,
+ * so new knobs are only ever appended.
  */
+struct SimRequest
+{
+    /** Converter improvements applied during CVP conversion. */
+    ImprovementSet imps = kImpNone;
+
+    /** Core configuration (defaults equal modernConfig()). */
+    CoreParams params{};
+
+    /**
+     * Leading fraction of the *converted* trace whose statistics are
+     * discarded (the IPC-1 methodology warms up half).
+     */
+    double warmupFraction = 0.0;
+
+    /**
+     * Optional instruction prefetcher plugged into the L1I; mutated by
+     * the run, so never share one instance across concurrent calls.
+     */
+    InstrPrefetcher *ipref = nullptr;
+
+    /**
+     * Identity of @c ipref for result keying; defaults to
+     * ipref->name().  Only override when two prefetchers share a name
+     * but behave differently (and see useStore for trained instances).
+     */
+    std::string iprefId;
+
+    /** Explicit store; nullptr means "use Store::global() if any". */
+    store::Store *store = nullptr;
+
+    /**
+     * Master store gate.  Set false when the request carries state the
+     * key cannot see (e.g. a pre-trained prefetcher instance).
+     */
+    bool useStore = true;
+
+    /**
+     * Precomputed content digest of the CVP trace (an optimisation for
+     * sweeps that simulate one trace many times); nullptr means
+     * simulate() digests the trace itself when a store is active.
+     */
+    const store::Digest *cvpDigest = nullptr;
+};
+
+/** A simulation result plus where its pieces came from. */
+struct SimResult
+{
+    SimStats stats;
+
+    /** The converted trace was served from the artifact store. */
+    bool traceFromStore = false;
+
+    /** The SimStats were served from the artifact store. */
+    bool statsFromStore = false;
+};
+
+/**
+ * One full experiment step: convert @p cvp under the request's
+ * improvements and simulate.
+ *
+ * Deterministic: the result depends only on (cvp, req), never on
+ * scheduling or store temperature -- the property both the parallel
+ * harness's and the store's bit-identical-output contracts rest on.
+ */
+SimResult simulate(const CvpTrace &cvp, const SimRequest &req = {});
+
+/**
+ * Simulate an already-converted ChampSim trace.  The conversion-related
+ * request fields (imps, cvpDigest) are ignored; stats memoization keys
+ * on the record bytes themselves.
+ */
+SimResult simulate(ChampSimView trace, const SimRequest &req = {});
+
+/**
+ * @name Deprecated positional entry points
+ * Thin wrappers kept for one release so out-of-tree callers migrate on
+ * their own schedule; see DESIGN.md for the migration recipe.  They
+ * forward to simulate() with an equivalent SimRequest (and therefore
+ * also hit the store).
+ * @{
+ */
+[[deprecated("use simulate(cvp, SimRequest{.imps=..., .params=...})")]]
 SimStats simulateCvp(const CvpTrace &cvp, ImprovementSet imps,
                      const CoreParams &params, double warmupFraction = 0.0,
                      InstrPrefetcher *ipref = nullptr);
 
-/** Simulate an already-converted ChampSim trace. */
+[[deprecated("use simulate(trace, SimRequest{.params=...})")]]
 SimStats simulateChampSim(const ChampSimTrace &trace,
                           const CoreParams &params,
                           double warmupFraction = 0.0,
                           InstrPrefetcher *ipref = nullptr);
+/** @} */
 
 } // namespace trb
 

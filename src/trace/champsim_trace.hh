@@ -150,6 +150,40 @@ static_assert(sizeof(ChampSimRecord) == 64,
 using ChampSimTrace = std::vector<ChampSimRecord>;
 
 /**
+ * A non-owning view of a ChampSim trace: the contiguous record array
+ * the core model walks.  Converts implicitly from ChampSimTrace, and is
+ * how the artifact store serves converted traces zero-copy out of an
+ * mmap'd file -- the viewed storage must outlive the view.
+ */
+class ChampSimView
+{
+  public:
+    ChampSimView() = default;
+    ChampSimView(const ChampSimRecord *data, std::size_t count)
+        : data_(data), count_(count)
+    {
+    }
+    ChampSimView(const ChampSimTrace &trace)   // NOLINT: implicit by design
+        : data_(trace.data()), count_(trace.size())
+    {
+    }
+
+    const ChampSimRecord &operator[](std::size_t i) const
+    {
+        return data_[i];
+    }
+    std::size_t size() const { return count_; }
+    bool empty() const { return count_ == 0; }
+    const ChampSimRecord *data() const { return data_; }
+    const ChampSimRecord *begin() const { return data_; }
+    const ChampSimRecord *end() const { return data_ + count_; }
+
+  private:
+    const ChampSimRecord *data_ = nullptr;
+    std::size_t count_ = 0;
+};
+
+/**
  * Write a trace to @p path (".gz" suffix selects compression); returns
  * a Status instead of dying, with gzwrite AND gzclose both checked --
  * a flush failure at close is a real data loss, not a detail.

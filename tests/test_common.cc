@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <fstream>
 #include <set>
+#include <sstream>
 
 #include "common/counters.hh"
 #include "common/env.hh"
@@ -286,18 +288,56 @@ TEST(FoldedHistory, ZeroHistoryFoldsToZero)
 
 TEST(Env, DefaultsWhenUnset)
 {
-    unsetenv("TRB_TEST_VAR");
-    EXPECT_EQ(envU64("TRB_TEST_VAR", 7), 7u);
-    EXPECT_DOUBLE_EQ(envDouble("TRB_TEST_VAR", 0.5), 0.5);
+    unsetenv("TRB_TRACE_LEN");
+    unsetenv("TRB_SUITE_SCALE");
+    EXPECT_EQ(env::u64("TRB_TRACE_LEN", 7), 7u);
+    EXPECT_DOUBLE_EQ(env::number("TRB_SUITE_SCALE", 0.5), 0.5);
+    EXPECT_EQ(env::str("TRB_STORE", "fallback"), "fallback");
+    EXPECT_FALSE(env::flag("TRB_LINT"));
 }
 
 TEST(Env, ParsesValues)
 {
-    setenv("TRB_TEST_VAR", "123", 1);
-    EXPECT_EQ(envU64("TRB_TEST_VAR", 7), 123u);
-    setenv("TRB_TEST_VAR", "0.25", 1);
-    EXPECT_DOUBLE_EQ(envDouble("TRB_TEST_VAR", 0.5), 0.25);
-    unsetenv("TRB_TEST_VAR");
+    setenv("TRB_TRACE_LEN", "123", 1);
+    EXPECT_EQ(env::u64("TRB_TRACE_LEN", 7), 123u);
+    unsetenv("TRB_TRACE_LEN");
+    setenv("TRB_SUITE_SCALE", "0.25", 1);
+    EXPECT_DOUBLE_EQ(env::number("TRB_SUITE_SCALE", 0.5), 0.25);
+    unsetenv("TRB_SUITE_SCALE");
+    setenv("TRB_LINT", "1", 1);
+    EXPECT_TRUE(env::flag("TRB_LINT"));
+    setenv("TRB_LINT", "0", 1);
+    EXPECT_FALSE(env::flag("TRB_LINT"));
+    unsetenv("TRB_LINT");
+}
+
+TEST(Env, RegistryIsSortedAndQueryable)
+{
+    const auto &vars = env::registry();
+    ASSERT_FALSE(vars.empty());
+    for (std::size_t i = 1; i < vars.size(); ++i)
+        EXPECT_LT(std::string(vars[i - 1].name), std::string(vars[i].name))
+            << "registry must stay alphabetical";
+    for (const auto &var : vars) {
+        EXPECT_TRUE(env::isRegistered(var.name)) << var.name;
+        EXPECT_NE(var.summary[0], '\0') << var.name;
+    }
+    EXPECT_FALSE(env::isRegistered("TRB_NOT_A_REAL_KNOB"));
+}
+
+TEST(Env, EveryRegisteredVarIsDocumented)
+{
+    // docs/env-vars.md is the user-facing contract; a knob that is
+    // registered but undocumented fails here and in trace_lint
+    // --selftest.
+    std::ifstream in(std::string(TRB_SOURCE_DIR) + "/docs/env-vars.md");
+    ASSERT_TRUE(in.good()) << "docs/env-vars.md missing";
+    std::stringstream ss;
+    ss << in.rdbuf();
+    const std::string docs = ss.str();
+    for (const auto &var : env::registry())
+        EXPECT_NE(docs.find(var.name), std::string::npos)
+            << var.name << " is registered but not in docs/env-vars.md";
 }
 
 } // namespace

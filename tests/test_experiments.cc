@@ -138,8 +138,8 @@ TEST(PaperDirections, CallStackFixesReturnMpkiOnBlrTraces)
 
     TraceGenerator gen(spec->params);
     CvpTrace cvp = gen.generate(spec->length);
-    SimStats orig = simulateCvp(cvp, kImpNone, modernConfig());
-    SimStats fixed = simulateCvp(cvp, kImpCallStack, modernConfig());
+    SimStats orig = simulate(cvp, {.imps = kImpNone}).stats;
+    SimStats fixed = simulate(cvp, {.imps = kImpCallStack}).stats;
     EXPECT_GT(orig.returnMpki(), 5.0);
     EXPECT_LT(fixed.returnMpki(), orig.returnMpki() / 10.0);
     EXPECT_GT(fixed.ipc(), orig.ipc());

@@ -92,11 +92,17 @@ TEST_P(PrefetcherSweep, SpeedsUpSyntheticServerWorkload)
     ChampSimTrace trace = conv.convert(cvp);
 
     CoreParams p = ipc1Config();
-    SimStats base = simulateChampSim(trace, p, 0.5);
+    SimStats base = simulate(ChampSimView(trace),
+                             {.params = p, .warmupFraction = 0.5})
+                        .stats;
     ASSERT_GT(base.l1iMpki(), 5.0);   // genuinely front-end bound
 
     auto pf = makeInstrPrefetcher(GetParam());
-    SimStats s = simulateChampSim(trace, p, 0.5, pf.get());
+    SimStats s = simulate(ChampSimView(trace),
+                          {.params = p,
+                           .warmupFraction = 0.5,
+                           .ipref = pf.get()})
+                     .stats;
     EXPECT_GT(s.ipc(), base.ipc() * 1.005) << GetParam();
 }
 

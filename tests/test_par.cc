@@ -175,13 +175,15 @@ TEST(Determinism, SweepBitIdenticalToSerialReference)
     for (std::size_t i = 0; i < suite.size(); ++i) {
         CvpTrace cvp =
             TraceGenerator(suite[i].params).generate(suite[i].length);
-        SimStats base = simulateCvp(cvp, kImpNone, params);
+        SimStats base = simulate(cvp, {.imps = kImpNone,
+                                       .params = params}).stats;
         // Bitwise equality, not EXPECT_NEAR: the parallel run must
         // reproduce the serial doubles exactly.
         EXPECT_EQ(baseline[i].cycles, base.cycles);
         EXPECT_EQ(baseline[i].ipc(), base.ipc());
         for (std::size_t k = 0; k < sets.size(); ++k) {
-            SimStats s = simulateCvp(cvp, sets[k].set, params);
+            SimStats s = simulate(cvp, {.imps = sets[k].set,
+                                        .params = params}).stats;
             ASSERT_EQ(series[k].ratio.size(), suite.size());
             EXPECT_EQ(series[k].ratio[i], s.ipc() / base.ipc())
                 << sets[k].name << " trace " << i;

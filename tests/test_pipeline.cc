@@ -416,8 +416,8 @@ TEST(Simulator, EndToEndDeterminism)
 {
     TraceGenerator gen(computeIntParams(123));
     CvpTrace cvp = gen.generate(20000);
-    SimStats a = simulateCvp(cvp, kAllImps, modernConfig());
-    SimStats b = simulateCvp(cvp, kAllImps, modernConfig());
+    SimStats a = simulate(cvp, {.imps = kAllImps}).stats;
+    SimStats b = simulate(cvp, {.imps = kAllImps}).stats;
     EXPECT_EQ(a.cycles, b.cycles);
     EXPECT_EQ(a.branchMispredicts, b.branchMispredicts);
     EXPECT_EQ(a.l1dMisses, b.l1dMisses);

@@ -10,6 +10,7 @@
  *   trace_lint --cvp orig.cvp.gz trace.champsim.gz   # all rules (paired)
  *   trace_lint --synth cvp1 --imp No_imp          # lint a synth suite
  *   trace_lint --list-rules                       # rule catalog
+ *   trace_lint --selftest                         # env registry vs docs
  *
  * Multiple trace files are linted in parallel on trb::par's global pool
  * (TRB_JOBS threads); reports are index-addressed, so output order always
@@ -28,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "common/env.hh"
 #include "convert/cvp2champsim.hh"
 #include "convert/improvements.hh"
 #include "experiments/experiment.hh"
@@ -58,8 +60,10 @@ struct CliOptions
     lint::LintOptions lintOpts;
     FailOn failOn = FailOn::Error;
     std::string jsonPath;              //!< "-" for stdout
+    std::string docsPath = "docs/env-vars.md";   //!< --selftest table
     bool json = false;
     bool listRules = false;
+    bool selftest = false;
 };
 
 void
@@ -68,6 +72,7 @@ usage(std::ostream &os)
     os << "usage: trace_lint [options] <trace.champsim[.gz]>...\n"
           "       trace_lint [options] --synth cvp1|ipc1 [--imp SET]\n"
           "       trace_lint --list-rules\n"
+          "       trace_lint --selftest [--docs FILE]\n"
           "\n"
           "Statically check converted ChampSim traces against the\n"
           "invariants of a fully improved CVP-1 conversion (no simulation).\n"
@@ -90,6 +95,11 @@ usage(std::ostream &os)
           "  --json[=FILE]     machine-readable report to FILE (default\n"
           "                    stdout)\n"
           "  --list-rules      print the rule catalog and exit\n"
+          "  --selftest        check that every registered TRB_* env\n"
+          "                    variable is documented in the env-vars\n"
+          "                    table, then exit\n"
+          "  --docs FILE       env-vars table for --selftest (default\n"
+          "                    docs/env-vars.md)\n"
           "  -h, --help        this text\n";
 }
 
@@ -124,6 +134,13 @@ parseArgs(int argc, char **argv, CliOptions &opts)
             std::exit(0);
         } else if (arg == "--list-rules") {
             opts.listRules = true;
+        } else if (arg == "--selftest") {
+            opts.selftest = true;
+        } else if (arg == "--docs") {
+            const char *v = value("--docs");
+            if (!v)
+                return false;
+            opts.docsPath = v;
         } else if (arg == "--cvp") {
             const char *v = value("--cvp");
             if (!v)
@@ -206,7 +223,7 @@ parseArgs(int argc, char **argv, CliOptions &opts)
                   << "' (see --list-rules)\n";
         return false;
     }
-    if (opts.listRules)
+    if (opts.listRules || opts.selftest)
         return true;
     if (!opts.synthSuite.empty() && !opts.traces.empty()) {
         std::cerr << "trace_lint: --synth and trace files are mutually "
@@ -222,6 +239,38 @@ parseArgs(int argc, char **argv, CliOptions &opts)
         return false;
     }
     return true;
+}
+
+/**
+ * Check that every variable in the trb::env registry appears in the
+ * env-vars documentation table.  This is what keeps docs/env-vars.md
+ * honest: adding a knob to the registry without a doc row fails CI.
+ * Exit 0 all documented, 1 missing rows, 2 unreadable docs file.
+ */
+int
+runSelftest(const std::string &docsPath)
+{
+    std::ifstream file(docsPath);
+    if (!file) {
+        std::cerr << "trace_lint: cannot read '" << docsPath
+                  << "' (pass --docs FILE)\n";
+        return 2;
+    }
+    std::stringstream buf;
+    buf << file.rdbuf();
+    const std::string docs = buf.str();
+
+    std::uint64_t missing = 0;
+    for (const env::VarInfo &var : env::registry()) {
+        if (docs.find(var.name) == std::string::npos) {
+            std::cerr << "trace_lint: " << var.name << " (" << var.summary
+                      << ") is not documented in " << docsPath << "\n";
+            ++missing;
+        }
+    }
+    std::cout << "selftest: " << env::registry().size()
+              << " registered env var(s), " << missing << " undocumented\n";
+    return missing == 0 ? 0 : 1;
 }
 
 void
@@ -319,6 +368,8 @@ main(int argc, char **argv)
     CliOptions opts;
     if (!parseArgs(argc, argv, opts))
         return 2;
+    if (opts.selftest)
+        return runSelftest(opts.docsPath);
     if (opts.listRules) {
         listRules();
         return 0;

@@ -1,0 +1,239 @@
+/**
+ * @file
+ * trace_store -- inspect and maintain a trb::store artifact cache.
+ *
+ *   trace_store ls                      # one line per artifact
+ *   trace_store gc --max-bytes 64M      # LRU-evict down to a budget
+ *   trace_store verify                  # re-digest everything
+ *
+ * The store directory comes from --store DIR or, failing that, the
+ * TRB_STORE environment variable (the same knob the simulator honours).
+ * `ls` prints kind, size, age rank and key for every artifact, sorted
+ * by file name so the output is stable; `gc` always removes stale
+ * temporaries and quarantined .bad files, then evicts least-recently-
+ * used artifacts until the store fits the budget; `verify` re-checks
+ * every header, key and payload digest and quarantines what fails.
+ *
+ * Exit status: 0 success (for verify: all artifacts clean), 1 verify
+ * found and quarantined damage, 2 usage error or no store configured.
+ */
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/env.hh"
+#include "store/store.hh"
+
+namespace
+{
+
+using namespace trb;
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: trace_store [--store DIR] ls\n"
+          "       trace_store [--store DIR] gc --max-bytes N[K|M|G]\n"
+          "       trace_store [--store DIR] verify\n"
+          "\n"
+          "Inspect and maintain a trb::store artifact cache.  The store\n"
+          "directory is --store DIR, or $TRB_STORE when the flag is\n"
+          "absent.\n"
+          "\n"
+          "subcommands:\n"
+          "  ls                one line per artifact: kind, bytes, file,\n"
+          "                    key (sorted by file name)\n"
+          "  gc                evict least-recently-used artifacts until\n"
+          "                    the store is at most --max-bytes; stale\n"
+          "                    temporaries and .bad files always go\n"
+          "  verify            re-digest every artifact, quarantining\n"
+          "                    (renaming to .bad) any that fail\n"
+          "\n"
+          "options:\n"
+          "  --store DIR       store directory (default $TRB_STORE)\n"
+          "  --max-bytes N     gc budget; accepts K/M/G suffixes\n"
+          "  -h, --help        this text\n";
+}
+
+/** Parse "64", "64K", "64M", "64G"; false on anything else. */
+bool
+parseBytes(const std::string &text, std::uint64_t &out)
+{
+    if (text.empty())
+        return false;
+    char *end = nullptr;
+    unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+    if (end == text.c_str())
+        return false;
+    std::uint64_t mult = 1;
+    if (*end != '\0') {
+        switch (std::toupper(static_cast<unsigned char>(*end))) {
+          case 'K':
+            mult = 1024ull;
+            break;
+          case 'M':
+            mult = 1024ull * 1024;
+            break;
+          case 'G':
+            mult = 1024ull * 1024 * 1024;
+            break;
+          default:
+            return false;
+        }
+        if (end[1] != '\0')
+            return false;
+    }
+    out = static_cast<std::uint64_t>(value) * mult;
+    return true;
+}
+
+const char *
+kindName(std::uint32_t kind)
+{
+    switch (kind) {
+      case store::kTraceArtifact:
+        return "trace";
+      case store::kStatsArtifact:
+        return "stats";
+      default:
+        return "?";
+    }
+}
+
+int
+runLs(store::Store &st)
+{
+    std::uint64_t total = 0;
+    std::vector<store::ArtifactInfo> items = st.list();
+    for (const store::ArtifactInfo &info : items) {
+        total += info.bytes;
+        if (info.status.ok()) {
+            std::printf("%-5s %12" PRIu64 "  %s  %s\n",
+                        kindName(info.kind), info.bytes, info.file.c_str(),
+                        info.key.c_str());
+        } else {
+            std::printf("%-5s %12" PRIu64 "  %s  [damaged: %s]\n", "?",
+                        info.bytes, info.file.c_str(),
+                        info.status.toString().c_str());
+        }
+    }
+    std::printf("total: %zu artifact(s), %" PRIu64 " byte(s)\n",
+                items.size(), total);
+    return 0;
+}
+
+int
+runGc(store::Store &st, std::uint64_t maxBytes)
+{
+    store::Store::GcResult res = st.gc(maxBytes);
+    std::printf("scanned %" PRIu64 " artifact(s), %" PRIu64
+                " byte(s); evicted %" PRIu64 " (%" PRIu64 " byte(s))\n",
+                res.scanned, res.totalBytes, res.evicted,
+                res.evictedBytes);
+    return 0;
+}
+
+int
+runVerify(store::Store &st)
+{
+    store::Store::VerifyResult res = st.verify();
+    for (const store::ArtifactInfo &info : res.bad)
+        std::printf("quarantined %s: %s\n", info.file.c_str(),
+                    info.status.toString().c_str());
+    std::printf("checked %" PRIu64 " artifact(s): %" PRIu64 " ok, %zu "
+                "quarantined\n",
+                res.checked, res.ok, res.bad.size());
+    return res.bad.empty() ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string dir;
+    std::string command;
+    std::string maxBytesText;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto value = [&](const char *name) -> const char * {
+            if (i + 1 >= argc) {
+                std::cerr << "trace_store: " << name
+                          << " needs an argument\n";
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (arg == "-h" || arg == "--help") {
+            usage(std::cout);
+            return 0;
+        } else if (arg == "--store") {
+            const char *v = value("--store");
+            if (!v)
+                return 2;
+            dir = v;
+        } else if (arg == "--max-bytes") {
+            const char *v = value("--max-bytes");
+            if (!v)
+                return 2;
+            maxBytesText = v;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "trace_store: unknown option '" << arg << "'\n";
+            return 2;
+        } else if (command.empty()) {
+            command = arg;
+        } else {
+            std::cerr << "trace_store: unexpected argument '" << arg
+                      << "'\n";
+            return 2;
+        }
+    }
+
+    if (command.empty()) {
+        usage(std::cerr);
+        return 2;
+    }
+    if (command != "ls" && command != "gc" && command != "verify") {
+        std::cerr << "trace_store: unknown subcommand '" << command
+                  << "' (ls, gc, verify)\n";
+        return 2;
+    }
+
+    if (dir.empty())
+        dir = env::str("TRB_STORE");
+    if (dir.empty()) {
+        std::cerr << "trace_store: no store configured (pass --store DIR "
+                     "or set TRB_STORE)\n";
+        return 2;
+    }
+
+    std::uint64_t maxBytes = 0;
+    if (command == "gc") {
+        if (maxBytesText.empty()) {
+            std::cerr << "trace_store: gc needs --max-bytes\n";
+            return 2;
+        }
+        if (!parseBytes(maxBytesText, maxBytes)) {
+            std::cerr << "trace_store: bad --max-bytes '" << maxBytesText
+                      << "' (want N, NK, NM or NG)\n";
+            return 2;
+        }
+    } else if (!maxBytesText.empty()) {
+        std::cerr << "trace_store: --max-bytes only applies to gc\n";
+        return 2;
+    }
+
+    store::Store st(dir);
+    if (command == "ls")
+        return runLs(st);
+    if (command == "gc")
+        return runGc(st, maxBytes);
+    return runVerify(st);
+}
