@@ -66,6 +66,7 @@ main()
         suite.push_back(full[i]);
 
     return runBench(
+        "ablation_frontend",
         strprintf("Ablation: front-end design choices "
                   "(%zu traces x %llu instructions, All_imps traces)",
                   suite.size(), static_cast<unsigned long long>(len)),

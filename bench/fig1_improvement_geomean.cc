@@ -29,6 +29,7 @@ main()
     std::uint64_t len = traceLengthFromEnv(60000);
     auto suite = cvp1PublicSuite(len);
     return runBench(
+        "fig1",
         strprintf("Figure 1: geomean IPC variation per improvement "
                   "(CVP-1 public suite, %zu traces x %llu instructions)",
                   suite.size(), static_cast<unsigned long long>(len)),

@@ -20,7 +20,8 @@ main()
 {
     using namespace trb;
 
-    return runBench("Figure 2: per-trace IPC variation (%), each column "
+    return runBench("fig2",
+                    "Figure 2: per-trace IPC variation (%), each column "
                     "sorted descending",
                     [&] {
     std::uint64_t len = traceLengthFromEnv(60000);

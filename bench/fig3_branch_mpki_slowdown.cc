@@ -21,7 +21,8 @@ main()
 {
     using namespace trb;
 
-    return runBench("Figure 3: slowdown of branch-regs and flag-reg vs "
+    return runBench("fig3",
+                    "Figure 3: slowdown of branch-regs and flag-reg vs "
                     "branch MPKI (sorted by MPKI)",
                     [&] {
     std::uint64_t len = traceLengthFromEnv(60000);

@@ -21,7 +21,8 @@ main()
 {
     using namespace trb;
 
-    return runBench("Figure 4: base-update speedup vs writeback-load density "
+    return runBench("fig4",
+                    "Figure 4: base-update speedup vs writeback-load density "
                     "(sorted by density)",
                     [&] {
     std::uint64_t len = traceLengthFromEnv(60000);

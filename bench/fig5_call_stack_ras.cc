@@ -22,7 +22,8 @@ main()
 {
     using namespace trb;
 
-    return runBench("Figure 5: call-stack fix on the highest return-MPKI "
+    return runBench("fig5",
+                    "Figure 5: call-stack fix on the highest return-MPKI "
                     "traces (sorted descending)",
                     [&] {
     std::uint64_t len = traceLengthFromEnv(60000);

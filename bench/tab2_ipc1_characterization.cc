@@ -20,7 +20,8 @@ main()
 {
     using namespace trb;
 
-    return runBench("Table 2: IPC-1 trace characterisation with the "
+    return runBench("tab2",
+                    "Table 2: IPC-1 trace characterisation with the "
                     "improved converter (All_imps)",
                     [&] {
     std::uint64_t len = traceLengthFromEnv(60000);

@@ -31,7 +31,7 @@ main()
 
     // The title carries only one newline historically, so it is printed
     // by the body; runBench gets an empty title.
-    return runBench("", [&] {
+    return runBench("tab3", "", [&] {
     // Temporal prefetchers need history reuse: this experiment defaults
     // to longer traces than the figures (override with TRB_TRACE_LEN).
     std::uint64_t len = traceLengthFromEnv(200000);

@@ -23,8 +23,15 @@ registry()
         {"TRB_JOBS", "worker threads; 1 = exact serial path"},
         {"TRB_LINT", "lint every conversion before simulating it"},
         {"TRB_LOG", "log level: silent/warn/info/debug/trace or 0-4"},
+        {"TRB_OBS_BENCH_DIR", "BENCH_<name>.json manifest directory"
+                              " (default .; 0/off disables)"},
         {"TRB_OBS_CSV", "write the metrics registry as CSV here at exit"},
         {"TRB_OBS_JSON", "write the metrics registry as JSON here at exit"},
+        {"TRB_OBS_SAMPLE_MS", "metrics sampler heartbeat period in ms"
+                              " (0/unset: off)"},
+        {"TRB_OBS_SAMPLE_PATH", "sampler JSONL output file"},
+        {"TRB_OBS_SPANS", "write the merged span/pipeline Chrome trace"
+                          " here at exit"},
         {"TRB_PIPE_JSON", "write a Chrome trace of the pipeline here"},
         {"TRB_RETRIES", "attempts for transient I/O failures"},
         {"TRB_STORE", "content-addressed artifact cache directory"},

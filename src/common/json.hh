@@ -1,0 +1,54 @@
+/**
+ * @file
+ * A minimal JSON reader for the documents this repository itself emits
+ * (metrics dumps, BENCH_* run manifests, sampler JSONL lines): objects,
+ * arrays, strings, numbers, booleans and null.
+ *
+ * The reader flattens the document into two maps keyed by "/"-joined
+ * paths -- numbers (booleans fold to 0/1) and strings -- which is the
+ * shape every consumer here wants: trace_perf diffs numeric metrics by
+ * path, and the tests assert on a handful of known keys.  It is not a
+ * general-purpose parser (no \uXXXX decoding beyond a byte passthrough,
+ * no duplicate-key detection) and must only be pointed at trusted,
+ * self-produced documents.
+ */
+
+#ifndef TRB_COMMON_JSON_HH
+#define TRB_COMMON_JSON_HH
+
+#include <map>
+#include <string>
+
+namespace trb
+{
+
+/** A JSON document flattened to path -> scalar maps. */
+struct JsonFlat
+{
+    /** Numeric leaves (plus booleans as 0/1), by "/"-joined path. */
+    std::map<std::string, double> numbers;
+    /** String leaves, by "/"-joined path. */
+    std::map<std::string, std::string> strings;
+
+    /** Value of a numeric leaf, or @p def when absent. */
+    double number(const std::string &path, double def = 0.0) const;
+
+    /** True if a numeric leaf exists at @p path. */
+    bool hasNumber(const std::string &path) const;
+
+    /** Value of a string leaf, or @p def when absent. */
+    std::string str(const std::string &path,
+                    const std::string &def = "") const;
+};
+
+/**
+ * Parse @p text into @p out.  Returns false (and sets @p error when
+ * given) on malformed input or trailing garbage; @p out may then hold a
+ * partial flattening and must be discarded.
+ */
+bool parseJson(const std::string &text, JsonFlat &out,
+               std::string *error = nullptr);
+
+} // namespace trb
+
+#endif // TRB_COMMON_JSON_HH

@@ -8,16 +8,20 @@
  *
  *     int main()
  *     {
- *         return trb::runBench(
+ *         return trb::runBench("fig1",
  *             strprintf("Figure N: ... (%zu traces)", suite.size()),
  *             [&] { ... printf rows ... });
  *     }
  *
  * The title is printed first (followed by a blank line, the historical
- * layout), the body runs, and the tail publishes the observability
- * artifacts and folds any quarantined traces into the exit code.  The
- * printed bytes are identical to the pre-runBench binaries, which is
- * what the determinism CI diffs against.
+ * layout), the body runs under a wall-clock timer, and the tail
+ * publishes the observability artifacts -- obs::finish(), the
+ * BENCH_<name>.json run manifest (the repo's tracked instr/s baseline;
+ * see docs/observability.md), and the heartbeat sampler started before
+ * the body when TRB_OBS_SAMPLE_MS is set -- then folds any quarantined
+ * traces into the exit code.  The printed *stdout* bytes are identical
+ * to the pre-runBench binaries regardless of which telemetry is
+ * enabled, which is what the determinism CI diffs against.
  */
 
 #ifndef TRB_EXPERIMENTS_BENCH_MAIN_HH
@@ -30,10 +34,13 @@ namespace trb
 {
 
 /**
- * Run one bench binary: print @p title (skipped when empty), execute
- * @p body, then obs::finish() and return resil::harnessExitCode().
+ * Run one bench binary: print @p title (skipped when empty), start the
+ * env-gated telemetry (sampler, span timeline), execute @p body, then
+ * obs::finish(), write BENCH_<name>.json and return
+ * resil::harnessExitCode().  @p name is the manifest key -- short,
+ * stable, filesystem-safe ("fig1", "tab3").
  */
-int runBench(const std::string &title,
+int runBench(const std::string &name, const std::string &title,
              const std::function<void()> &body);
 
 } // namespace trb

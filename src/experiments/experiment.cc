@@ -12,6 +12,7 @@
 #include "common/stats.hh"
 #include "obs/metrics.hh"
 #include "obs/profile.hh"
+#include "obs/span.hh"
 #include "par/thread_pool.hh"
 #include "resil/checkpoint.hh"
 #include "resil/fault.hh"
@@ -99,6 +100,9 @@ forEachTrace(const std::vector<TraceSpec> &suite,
     const resil::RetryPolicy policy = resil::RetryPolicy::fromEnv();
     const std::size_t preexisting = failures->size();
     pool.parallelFor(count, [&](std::size_t i) {
+        // One timeline span per trace on its worker's lane (generation,
+        // retries and the caller's fn all inside it).
+        obs::SpanScope trace_span("trace." + suite[i].name, "trace");
         // Per-worker throughput shows up in the phase profile as
         // worker.<id>; skipped in serial mode so TRB_JOBS=1 reports
         // exactly what the serial harness always reported.
@@ -124,6 +128,7 @@ forEachTrace(const std::vector<TraceSpec> &suite,
         }
         if (worker_timer)
             worker_timer->setItems(trace.value().size());
+        trace_span.setItems(trace.value().size());
         fn(i, suite[i], trace.value());
         progress.step(i, trace.value().size());
     });
@@ -241,6 +246,7 @@ runImprovementSweep(const std::vector<TraceSpec> &suite,
     obs::MetricsRegistry &reg = obs::MetricsRegistry::global();
     par::ThreadPool &pool = par::ThreadPool::global();
     const bool storing = store::Store::global() != nullptr;
+    obs::SpanScope sweep_span("sweep", "sweep");
     forEachTrace(
         suite,
         [&](std::size_t i, const TraceSpec &, const CvpTrace &cvp) {
@@ -311,9 +317,25 @@ runImprovementSweep(const std::vector<TraceSpec> &suite,
         failures);
     // Post-join, single-threaded: the summary gauges land in the
     // registry in series order whatever the task schedule was.
-    for (const DeltaSeries &s : series)
+    std::uint64_t swept_items = 0;
+    std::vector<std::uint64_t> ratio_bits;
+    for (const DeltaSeries &s : series) {
         reg.setGauge("sweep." + s.setName + ".geomean_delta_percent",
                      s.geomeanDeltaPercent());
+        for (double r : s.ratio)
+            ratio_bits.push_back(doubleBits(r));
+        swept_items += s.ratio.size();
+    }
+    // Bit-exact provenance of the whole result matrix: two runs that
+    // computed the same ratios -- whatever the TRB_JOBS schedule --
+    // publish the same digest, so a perf diff can also prove the
+    // candidate still computes the baseline's numbers.
+    reg.setCounter("sweep.ratios_digest",
+                   store::digestBytes(ratio_bits.data(),
+                                      ratio_bits.size() *
+                                          sizeof(std::uint64_t))
+                       .lo);
+    sweep_span.setItems(swept_items);
     return series;
 }
 

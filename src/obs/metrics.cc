@@ -11,6 +11,7 @@
 
 #include "common/logging.hh"
 #include "obs/profile.hh"
+#include "obs/span.hh"
 
 namespace trb
 {
@@ -200,6 +201,7 @@ MetricsRegistry::writeJson(std::ostream &os) const
            << ", \"total\": " << h.hist.total()
            << ", \"mean\": " << jsonDouble(h.hist.meanValue())
            << ", \"p50\": " << h.hist.percentile(50)
+           << ", \"p95\": " << h.hist.percentile(95)
            << ", \"p99\": " << h.hist.percentile(99) << ", \"buckets\": [";
         const char *bsep = "";
         for (std::uint64_t b : h.hist.buckets()) {
@@ -226,6 +228,8 @@ MetricsRegistry::writeCsv(std::ostream &os) const
         os << "histogram," << h.path << ".mean,"
            << jsonDouble(h.hist.meanValue()) << "\n";
         os << "histogram," << h.path << ".p50," << h.hist.percentile(50)
+           << "\n";
+        os << "histogram," << h.path << ".p95," << h.hist.percentile(95)
            << "\n";
         os << "histogram," << h.path << ".p99," << h.hist.percentile(99)
            << "\n";
@@ -374,12 +378,44 @@ dumpIfRequested()
     const MetricsRegistry &reg = MetricsRegistry::global();
     bool wrote = writeFile("TRB_OBS_JSON", reg.toJson(), "JSON");
     wrote |= writeFile("TRB_OBS_CSV", reg.toCsv(), "CSV");
+
+    // The merged span/pipeline timeline, if spans were collected.
+    const char *spans_path = trb::env::raw("TRB_OBS_SPANS");
+    if (spans_path && *spans_path) {
+        std::ofstream out(spans_path);
+        if (!out) {
+            trb_warn("obs: cannot open ", spans_path, " for the span trace");
+        } else {
+            SpanTimeline::global().writeChromeTrace(out);
+            trb_inform("obs: wrote span timeline to ", spans_path);
+            wrote = true;
+        }
+    }
     return wrote;
 }
+
+namespace
+{
+bool g_finished = false;
+} // namespace
+
+namespace detail
+{
+
+void
+resetFinishForTests()
+{
+    g_finished = false;
+}
+
+} // namespace detail
 
 bool
 finish()
 {
+    if (g_finished)
+        return false;
+    g_finished = true;
     PhaseProfile &phases = PhaseProfile::global();
     if (!phases.empty()) {
         phases.exportTo(MetricsRegistry::global(), "phase");

@@ -140,7 +140,7 @@ class MetricsRegistry
     /**
      * Write the registry as one JSON object:
      * {"counters": {path: value, ...}, "gauges": {...},
-     *  "histograms": {path: {bucket_width, total, mean, p50, p99,
+     *  "histograms": {path: {bucket_width, total, mean, p50, p95, p99,
      *                        buckets: [...]}, ...}}
      * Renders a snapshot(), so it is safe against concurrent writers.
      */
@@ -248,14 +248,24 @@ std::string jsonQuote(const std::string &s);
 
 /**
  * Export accumulated phase wall-times into the global registry, log the
- * phase report (at info level) and honour TRB_OBS_JSON / TRB_OBS_CSV.
- * Every bench main calls this once before exiting.
- * @return true if at least one file was written.
+ * phase report (at info level) and honour TRB_OBS_JSON / TRB_OBS_CSV /
+ * TRB_OBS_SPANS (the merged Chrome trace).  Every bench main calls this
+ * before exiting; calling it again is a no-op -- the exports happen
+ * exactly once per process, so layered teardown paths (a bench's own
+ * finish plus a library destructor, say) cannot double-export phases or
+ * truncate an already-written dump.
+ * @return true if at least one file was written by *this* call.
  */
 bool finish();
 
 /** Just the env-gated dump half of finish(). */
 bool dumpIfRequested();
+
+namespace detail
+{
+/** Re-arm finish() so a test can exercise it repeatedly. */
+void resetFinishForTests();
+} // namespace detail
 
 } // namespace obs
 } // namespace trb

@@ -1,0 +1,142 @@
+#include "obs/perf_compare.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <set>
+
+#include "common/json.hh"
+
+namespace trb
+{
+namespace obs
+{
+
+namespace
+{
+
+/** Throughput metrics gate; wall-time rows are context only. */
+bool
+isGatedMetric(const std::string &path)
+{
+    return path.ends_with("items_per_second");
+}
+
+bool
+isContextMetric(const std::string &path)
+{
+    return path == "wall_seconds" || path.ends_with("/seconds") ||
+           path.ends_with("phase_seconds");
+}
+
+} // namespace
+
+double
+PerfCompareOptions::thresholdFor(const std::string &metric) const
+{
+    auto it = perMetricThresholdPercent.find(metric);
+    return it == perMetricThresholdPercent.end() ? thresholdPercent
+                                                 : it->second;
+}
+
+PerfCompareResult
+comparePerfRecords(const JsonFlat &base, const JsonFlat &candidate,
+                   const PerfCompareOptions &opts)
+{
+    PerfCompareResult result;
+
+    const std::string base_schema = base.str("schema");
+    const std::string cand_schema = candidate.str("schema");
+    if (base_schema.empty() || cand_schema.empty()) {
+        result.error = "not a bench record: missing \"schema\" field";
+        return result;
+    }
+    if (base_schema != cand_schema) {
+        result.error = "schema mismatch: baseline is " + base_schema +
+                       ", candidate is " + cand_schema;
+        return result;
+    }
+
+    std::set<std::string> paths;
+    for (const auto &[path, value] : base.numbers)
+        paths.insert(path);
+    for (const auto &[path, value] : candidate.numbers)
+        paths.insert(path);
+
+    std::vector<PerfDelta> context;
+    std::size_t gated_compared = 0;
+    for (const std::string &path : paths) {
+        const bool gated = isGatedMetric(path);
+        if (!gated && !isContextMetric(path))
+            continue;
+        if (!base.hasNumber(path) || !candidate.hasNumber(path)) {
+            result.missing.push_back(path);
+            continue;
+        }
+
+        PerfDelta d;
+        d.metric = path;
+        d.base = base.number(path);
+        d.candidate = candidate.number(path);
+        d.deltaPercent = d.base != 0.0
+                             ? (d.candidate - d.base) / d.base * 100.0
+                             : 0.0;
+        d.thresholdPercent = opts.thresholdFor(path);
+        d.gated = gated;
+        // Throughput: lower is worse.  A zero baseline can't regress
+        // (nothing ran through that phase on the baseline either).
+        d.regression = gated && d.base > 0.0 &&
+                       d.deltaPercent < -d.thresholdPercent;
+        if (gated) {
+            ++gated_compared;
+            result.regression |= d.regression;
+            result.deltas.push_back(std::move(d));
+        } else {
+            context.push_back(std::move(d));
+        }
+    }
+    result.deltas.insert(result.deltas.end(),
+                         std::make_move_iterator(context.begin()),
+                         std::make_move_iterator(context.end()));
+
+    if (gated_compared == 0)
+        result.error = "no throughput (items_per_second) metric shared by "
+                       "both records; the gate would be vacuous";
+    return result;
+}
+
+void
+renderPerfTable(std::ostream &os, const PerfCompareResult &result)
+{
+    if (!result.error.empty()) {
+        os << "error: " << result.error << "\n";
+        return;
+    }
+
+    std::size_t width = 6;
+    for (const PerfDelta &d : result.deltas)
+        width = std::max(width, d.metric.size());
+
+    char line[256];
+    std::snprintf(line, sizeof(line), "%-*s %14s %14s %9s %7s  %s\n",
+                  static_cast<int>(width), "metric", "baseline",
+                  "candidate", "delta", "thresh", "verdict");
+    os << line;
+    for (const PerfDelta &d : result.deltas) {
+        const char *verdict = !d.gated        ? "info"
+                              : d.regression  ? "REGRESSION"
+                                              : "ok";
+        std::snprintf(line, sizeof(line),
+                      "%-*s %14.6g %14.6g %+8.2f%% %6.2f%%  %s\n",
+                      static_cast<int>(width), d.metric.c_str(), d.base,
+                      d.candidate, d.deltaPercent, d.thresholdPercent,
+                      verdict);
+        os << line;
+    }
+    for (const std::string &path : result.missing)
+        os << "  (skipped " << path << ": present on one side only)\n";
+    os << (result.regression ? "verdict: REGRESSION\n" : "verdict: ok\n");
+}
+
+} // namespace obs
+} // namespace trb

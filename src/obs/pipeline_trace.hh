@@ -89,6 +89,18 @@ class PipelineTracer
      */
     static PipelineTracer &thisThread();
 
+    /**
+     * The held events of every live thread's thisThread() ring, keyed
+     * by the pool worker id the ring was first used on.  Only rings
+     * still alive are visited (pool workers live until process end, so
+     * in practice that is all of them); the span timeline merges these
+     * into its Chrome trace as per-worker instruction lanes.  Callers
+     * must not race this against concurrent record() on other threads
+     * -- obs::finish() runs post-join, which is the intended site.
+     */
+    static std::vector<std::pair<std::size_t, std::vector<InstrEvent>>>
+    collectAllThreads();
+
     /** Total records ever pushed (>= size() once wrapped). */
     std::uint64_t recorded() const { return recorded_; }
 

@@ -1,10 +1,18 @@
 #include "obs/profile.hh"
 
+#include <algorithm>
+#include <cstdio>
 #include <sstream>
+
+#ifdef __linux__
+#include <unistd.h>
+#endif
 
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "obs/metrics.hh"
+#include "obs/span.hh"
+#include "par/thread_pool.hh"
 
 namespace trb
 {
@@ -33,6 +41,17 @@ PhaseProfile::seconds(const std::string &phase) const
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = index_.find(phase);
     return it == index_.end() ? 0.0 : entries_[it->second].seconds;
+}
+
+std::uint64_t
+PhaseProfile::totalItems() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t total = 0;
+    for (const Entry &e : entries_)
+        if (e.name.rfind("worker.", 0) != 0)
+            total += e.items;
+    return total;
 }
 
 bool
@@ -93,8 +112,43 @@ PhaseProfile::global()
     return profile;
 }
 
+ScopeTimer::~ScopeTimer()
+{
+    const double secs = elapsed();
+    profile_.add(phase_, secs, items_);
+    if (&profile_ == &PhaseProfile::global() && SpanTimeline::enabled()) {
+        SpanEvent ev;
+        ev.name = std::move(phase_);
+        ev.category = "phase";
+        ev.durUs = secs * 1e6;
+        ev.startUs = SpanTimeline::nowUs() - ev.durUs;
+        ev.worker = static_cast<std::uint32_t>(par::workerId());
+        ev.items = items_;
+        SpanTimeline::global().record(std::move(ev));
+    }
+}
+
+SuiteProgress::Style
+SuiteProgress::styleFromEnvironment()
+{
+    if (!logEnabled(LogLevel::Info))
+        return Style::Silent;
+#ifdef __linux__
+    if (isatty(fileno(stderr)))
+        return Style::Live;
+#endif
+    return Style::Sparse;
+}
+
 SuiteProgress::SuiteProgress(std::string what, std::size_t total)
-    : what_(std::move(what)), total_(total),
+    : SuiteProgress(std::move(what), total, styleFromEnvironment())
+{
+}
+
+SuiteProgress::SuiteProgress(std::string what, std::size_t total,
+                             Style style)
+    : what_(std::move(what)), total_(total), style_(style),
+      stride_(std::max<std::size_t>(1, total / 10)),
       start_(std::chrono::steady_clock::now())
 {
 }
@@ -105,6 +159,19 @@ SuiteProgress::step(std::size_t index, std::uint64_t items)
     std::lock_guard<std::mutex> lock(mutex_);
     ++done_;
     items_ += items;
+    if (style_ == Style::Live) {
+        std::fprintf(stderr, "\r%s: %zu/%zu (%3.0f%%)", what_.c_str(),
+                     done_, total_,
+                     total_ ? 100.0 * double(done_) / double(total_) : 100.0);
+        std::fflush(stderr);
+    } else if (style_ == Style::Sparse &&
+               (done_ % stride_ == 0 || done_ == total_)) {
+        trb_inform(what_, ": ", done_, "/", total_, " (",
+                   fmtDouble(total_ ? 100.0 * double(done_) /
+                                          double(total_)
+                                    : 100.0, 0),
+                   "%)");
+    }
     if (logEnabled(LogLevel::Debug)) {
         double secs = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - start_)
@@ -116,6 +183,11 @@ SuiteProgress::step(std::size_t index, std::uint64_t items)
 
 SuiteProgress::~SuiteProgress()
 {
+    if (style_ == Style::Live && done_ > 0) {
+        // Erase the carriage-return progress line before the summary.
+        std::fputs("\r\033[2K", stderr);
+        std::fflush(stderr);
+    }
     double secs = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - start_)
                       .count();

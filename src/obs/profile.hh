@@ -64,6 +64,13 @@ class PhaseProfile
     /** Accumulated seconds of a phase; 0 if absent. */
     double seconds(const std::string &phase) const;
 
+    /**
+     * Sum of items across phases, excluding the per-worker "worker.N"
+     * lanes (those re-count the items of the phases that ran on them).
+     * The sampler's rolling items/second rate differentiates this.
+     */
+    std::uint64_t totalItems() const;
+
     bool empty() const;
 
     void clear();
@@ -92,6 +99,12 @@ class PhaseProfile
 /**
  * RAII wall-clock timer: accumulates its lifetime into a phase of the
  * global (or a given) PhaseProfile on destruction.
+ *
+ * When the span timeline is enabled (TRB_OBS_SPANS), every scope on the
+ * *global* profile also lands in the timeline as a "phase"-category
+ * span on its worker's lane, so the phase table and the Chrome trace
+ * describe the same scopes.  A scope on a private profile (tests) stays
+ * out of the timeline.
  */
 class ScopeTimer
 {
@@ -121,7 +134,7 @@ class ScopeTimer
             .count();
     }
 
-    ~ScopeTimer() { profile_.add(phase_, elapsed(), items_); }
+    ~ScopeTimer();
 
   private:
     PhaseProfile &profile_;
@@ -131,14 +144,37 @@ class ScopeTimer
 };
 
 /**
- * Suite progress reporter: logs per-trace progress at debug level and an
- * end-of-suite wall-time / instructions-per-second summary at info level.
- * step() is safe from concurrent pool workers.
+ * Suite progress reporter: live progress on stderr while a suite runs,
+ * per-trace detail at debug level, and an end-of-suite wall-time /
+ * instructions-per-second summary at info level.  step() is safe from
+ * concurrent pool workers.
+ *
+ * The live output adapts to where stderr goes (at info level and up):
+ * on a terminal each step redraws one carriage-return progress line; on
+ * anything else -- CI logs, redirected files -- it emits a sparse
+ * line-per-milestone (about every 10% of the suite, always the last
+ * step), so captured logs never accumulate control-character noise.
+ * Nothing is ever written to stdout, which stays byte-identical.
  */
 class SuiteProgress
 {
   public:
+    /** How step() renders progress on stderr. */
+    enum class Style
+    {
+        Live,     //!< carriage-return redraw (stderr is a terminal)
+        Sparse,   //!< one plain line per ~10% milestone
+        Silent,   //!< nothing per step (log level below info)
+    };
+
+    /** Style for the current process: tty detection + log level. */
+    static Style styleFromEnvironment();
+
     SuiteProgress(std::string what, std::size_t total);
+
+    /** @param style override the auto-detected rendering (tests). */
+    SuiteProgress(std::string what, std::size_t total, Style style);
+
     ~SuiteProgress();
 
     SuiteProgress(const SuiteProgress &) = delete;
@@ -151,6 +187,8 @@ class SuiteProgress
     std::mutex mutex_;
     std::string what_;
     std::size_t total_;
+    Style style_;
+    std::size_t stride_;   //!< sparse-mode milestone interval
     std::size_t done_ = 0;
     std::uint64_t items_ = 0;
     std::chrono::steady_clock::time_point start_;

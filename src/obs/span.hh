@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Unified span timeline: hierarchical wall-clock spans (sweep -> trace
+ * -> convert/simulate stages) recorded from any thread, merged with the
+ * per-thread PipelineTracer rings into a single Chrome trace_event file
+ * with one lane per pool worker.
+ *
+ * Spans answer "where did the wall-clock go, on which worker, for which
+ * trace" in one trace-viewer load; the pipeline rings add the
+ * per-instruction cycle detail underneath.  The two clock domains are
+ * kept apart by Chrome pid: pid 0 carries the wall-clock spans
+ * (microseconds since process start, tid = worker id), pid 1+w carries
+ * worker w's instruction ring on its cycle axis.
+ *
+ * Enabled by TRB_OBS_SPANS=<path>; obs::finish() writes the merged file
+ * there.  When the variable is unset every SpanScope constructor reduces
+ * to one cached boolean test and records nothing -- the timeline is off
+ * the hot path exactly the way a detached PipelineTracer is.
+ *
+ * Thread safety: record() appends under a mutex (spans are coarse --
+ * one per trace or stage, never per instruction); the depth used for
+ * hierarchy rendering is tracked per thread, so nesting is meaningful
+ * within a worker lane and concurrent lanes never interleave depths.
+ */
+
+#ifndef TRB_OBS_SPAN_HH
+#define TRB_OBS_SPAN_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace trb
+{
+namespace obs
+{
+
+/** One completed wall-clock span. */
+struct SpanEvent
+{
+    std::string name;        //!< "trace.srv_0", "set.All", "sweep"
+    std::string category;    //!< "bench", "sweep", "trace", "phase"
+    double startUs = 0.0;    //!< microseconds since process start
+    double durUs = 0.0;
+    std::uint32_t worker = 0;   //!< pool lane (par::workerId())
+    std::uint32_t depth = 0;    //!< nesting depth on its thread
+    std::uint64_t items = 0;    //!< e.g. instructions covered
+};
+
+/** Process-wide collector of completed spans. */
+class SpanTimeline
+{
+  public:
+    SpanTimeline() = default;
+    SpanTimeline(const SpanTimeline &) = delete;
+    SpanTimeline &operator=(const SpanTimeline &) = delete;
+
+    /**
+     * True when span collection is on (TRB_OBS_SPANS set).  Cached
+     * after the first call; the test override below refreshes it.
+     */
+    static bool enabled();
+
+    /** Force the enabled flag (tests); pass -1 to re-read the env. */
+    static void setEnabledForTests(int on);
+
+    /** Microseconds since the process-wide span epoch. */
+    static double nowUs();
+
+    /** Append one completed span (locked, any thread). */
+    void record(SpanEvent ev);
+
+    /** Number of spans held. */
+    std::size_t size() const;
+
+    /** Copy of every span, in completion order. */
+    std::vector<SpanEvent> snapshot() const;
+
+    void clear();
+
+    /**
+     * Write the merged Chrome trace: the held spans as "X" slices on
+     * pid 0 (tid = worker lane), plus -- when @p merge_pipeline -- each
+     * live thread's PipelineTracer ring as instruction slices on
+     * pid 1+worker, and process_name metadata labelling every pid.
+     */
+    void writeChromeTrace(std::ostream &os,
+                          bool merge_pipeline = true) const;
+
+    /** The process-wide timeline obs::finish() dumps. */
+    static SpanTimeline &global();
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<SpanEvent> spans_;
+};
+
+/**
+ * RAII span: records its lifetime into the global timeline (current
+ * worker lane, per-thread nesting depth).  A disabled timeline makes
+ * construction and destruction test one cached boolean each.
+ */
+class SpanScope
+{
+  public:
+    SpanScope(std::string name, std::string category,
+              std::uint64_t items = 0);
+    ~SpanScope();
+
+    SpanScope(const SpanScope &) = delete;
+    SpanScope &operator=(const SpanScope &) = delete;
+
+    /** Attach an item count (e.g. instructions) after the fact. */
+    void setItems(std::uint64_t items) { items_ = items; }
+
+  private:
+    bool active_;
+    std::string name_;
+    std::string category_;
+    std::uint64_t items_;
+    double startUs_ = 0.0;
+};
+
+} // namespace obs
+} // namespace trb
+
+#endif // TRB_OBS_SPAN_HH

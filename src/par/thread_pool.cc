@@ -109,6 +109,8 @@ ThreadPool::tryRunOne(std::size_t id)
                 victim.tasks.pop_front();
             }
         }
+        if (task.first)
+            queues_[id]->steals.fetch_add(1, std::memory_order_relaxed);
     }
     if (!task.first)
         return false;
@@ -184,11 +186,47 @@ ThreadPool::parallelFor(std::size_t n,
         std::rethrow_exception(loop.error);
 }
 
+std::uint64_t
+ThreadPool::stealCount() const
+{
+    std::uint64_t total = 0;
+    for (const auto &queue : queues_)
+        total += queue->steals.load(std::memory_order_relaxed);
+    return total;
+}
+
+std::vector<std::size_t>
+ThreadPool::queueDepths() const
+{
+    std::vector<std::size_t> depths;
+    depths.reserve(queues_.size());
+    for (const auto &queue : queues_) {
+        std::lock_guard<std::mutex> lock(queue->mutex);
+        depths.push_back(queue->tasks.size());
+    }
+    return depths;
+}
+
+namespace
+{
+
+/** Set once the global pool has been constructed. */
+std::atomic<ThreadPool *> g_global_pool{nullptr};
+
+} // namespace
+
 ThreadPool &
 ThreadPool::global()
 {
     static ThreadPool pool(jobsFromEnv());
+    g_global_pool.store(&pool, std::memory_order_release);
     return pool;
+}
+
+ThreadPool *
+ThreadPool::globalIfStarted()
+{
+    return g_global_pool.load(std::memory_order_acquire);
 }
 
 } // namespace par

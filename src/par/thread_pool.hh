@@ -29,6 +29,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -102,6 +103,29 @@ class ThreadPool
      */
     static ThreadPool &global();
 
+    /**
+     * The process-wide pool if it has already been constructed, else
+     * nullptr.  Observability code samples through this accessor so
+     * that *watching* the pool never *creates* it (a sampler tick
+     * before the first parallelFor must not spawn worker threads).
+     */
+    static ThreadPool *globalIfStarted();
+
+    /**
+     * Tasks each worker ran that were taken from another worker's
+     * deque, summed over the pool's lifetime.  Relaxed reads: exact
+     * once the pool is quiescent, approximate while loops are live --
+     * which is fine for the telemetry heartbeat that consumes it.
+     */
+    std::uint64_t stealCount() const;
+
+    /**
+     * Current depth of every worker deque (index = worker id).  Takes
+     * each queue lock briefly; depths of different queues are not a
+     * consistent cut, which telemetry tolerates.
+     */
+    std::vector<std::size_t> queueDepths() const;
+
   private:
     struct ForLoop;
 
@@ -110,6 +134,8 @@ class ThreadPool
     {
         std::mutex mutex;
         std::deque<std::pair<ForLoop *, std::size_t>> tasks;
+        /** Tasks this worker ran that it stole from another deque. */
+        std::atomic<std::uint64_t> steals{0};
     };
 
     void workerLoop(std::size_t id);

@@ -9,6 +9,9 @@
 #include <gtest/gtest.h>
 
 #include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <map>
 #include <sstream>
 #include <string>
@@ -175,6 +178,13 @@ TEST(MetricsRegistry, JsonRoundTrip)
                      0.015625);
     EXPECT_DOUBLE_EQ(reader.values["histograms/core.dep_distance/total"],
                      16.0);
+    // The percentile summary exported next to the mean.
+    EXPECT_DOUBLE_EQ(reader.values["histograms/core.dep_distance/p50"],
+                     double(h.percentile(50)));
+    EXPECT_DOUBLE_EQ(reader.values["histograms/core.dep_distance/p95"],
+                     double(h.percentile(95)));
+    EXPECT_DOUBLE_EQ(reader.values["histograms/core.dep_distance/p99"],
+                     double(h.percentile(99)));
     EXPECT_DOUBLE_EQ(
         reader.values["histograms/core.dep_distance/buckets/0"], 10.0);
     EXPECT_DOUBLE_EQ(
@@ -213,6 +223,38 @@ TEST(MetricsRegistry, CsvRoundTrip)
     }
     EXPECT_EQ(parsed["a.b"], "77");
     EXPECT_DOUBLE_EQ(std::stod(parsed["c.d"]), 0.5);
+}
+
+TEST(MetricsRegistry, CsvFlattensHistogramPercentiles)
+{
+    obs::MetricsRegistry reg;
+    Histogram &h = reg.histogram("lat", 2, 8);
+    for (std::uint64_t v = 0; v < 16; ++v)
+        h.sample(v);
+    const std::string csv = reg.toCsv();
+    EXPECT_NE(csv.find("histogram,lat.p50,"), std::string::npos);
+    EXPECT_NE(csv.find("histogram,lat.p95,"), std::string::npos);
+    EXPECT_NE(csv.find("histogram,lat.p99,"), std::string::npos);
+}
+
+TEST(Finish, SecondCallIsANoOp)
+{
+    obs::detail::resetFinishForTests();
+    const std::string path =
+        testing::TempDir() + "trb_finish_idempotence.json";
+    setenv("TRB_OBS_JSON", path.c_str(), 1);
+    obs::MetricsRegistry::global().setCounter("finish.test.marker", 1);
+
+    EXPECT_TRUE(obs::finish());
+    std::remove(path.c_str());
+    // A layered teardown path calling finish() again must not re-export
+    // or recreate the dump.
+    EXPECT_FALSE(obs::finish());
+    std::ifstream probe(path);
+    EXPECT_FALSE(probe.good());
+
+    unsetenv("TRB_OBS_JSON");
+    obs::detail::resetFinishForTests();
 }
 
 TEST(PipelineTracer, RingBufferWrapsAround)

@@ -1,0 +1,655 @@
+/**
+ * @file
+ * Tests for the telemetry layer added on top of the metrics registry:
+ * the JSON reader (common/json), BENCH run manifests, the time-series
+ * sampler, the unified span timeline, the perf-regression comparator
+ * behind tools/trace_perf, worker-pool telemetry counters, and the
+ * tty-aware SuiteProgress rendering styles.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "obs/bench_record.hh"
+#include "obs/metrics.hh"
+#include "obs/perf_compare.hh"
+#include "obs/profile.hh"
+#include "obs/sampler.hh"
+#include "obs/span.hh"
+#include "par/thread_pool.hh"
+
+namespace trb
+{
+namespace
+{
+
+/** RAII guard restoring the ambient log level after a test. */
+struct LogLevelGuard
+{
+    LogLevel saved = logLevel();
+    ~LogLevelGuard() { setLogLevel(saved); }
+};
+
+/** RAII guard: set (or clear) one env var, restore the old value. */
+struct EnvGuard
+{
+    std::string name;
+    std::string saved;
+    bool wasSet;
+
+    EnvGuard(const char *n, const char *value) : name(n)
+    {
+        const char *old = getenv(n);
+        wasSet = old != nullptr;
+        if (wasSet)
+            saved = old;
+        if (value)
+            setenv(n, value, 1);
+        else
+            unsetenv(n);
+    }
+
+    ~EnvGuard()
+    {
+        if (wasSet)
+            setenv(name.c_str(), saved.c_str(), 1);
+        else
+            unsetenv(name.c_str());
+    }
+};
+
+// ---- common/json ----
+
+TEST(JsonFlat, ParsesScalarsObjectsAndArrays)
+{
+    JsonFlat doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(R"({
+        "schema": "trb-bench-v1",
+        "wall_seconds": 1.5,
+        "ok": true, "off": false, "nothing": null,
+        "totals": {"items": 1000, "items_per_second": 2.5e3},
+        "queue": [3, 1, 2],
+        "name": "a \"quoted\"\nstring"
+    })",
+                          doc, &error))
+        << error;
+    EXPECT_EQ(doc.str("schema"), "trb-bench-v1");
+    EXPECT_DOUBLE_EQ(doc.number("wall_seconds"), 1.5);
+    EXPECT_DOUBLE_EQ(doc.number("ok"), 1.0);
+    EXPECT_DOUBLE_EQ(doc.number("off"), 0.0);
+    EXPECT_DOUBLE_EQ(doc.number("totals/items"), 1000.0);
+    EXPECT_DOUBLE_EQ(doc.number("totals/items_per_second"), 2500.0);
+    EXPECT_DOUBLE_EQ(doc.number("queue/0"), 3.0);
+    EXPECT_DOUBLE_EQ(doc.number("queue/2"), 2.0);
+    EXPECT_EQ(doc.str("name"), "a \"quoted\"\nstring");
+    EXPECT_TRUE(doc.hasNumber("totals/items"));
+    EXPECT_FALSE(doc.hasNumber("totals/absent"));
+    EXPECT_DOUBLE_EQ(doc.number("totals/absent", -1.0), -1.0);
+}
+
+TEST(JsonFlat, RejectsMalformedAndTrailingGarbage)
+{
+    JsonFlat doc;
+    std::string error;
+    EXPECT_FALSE(parseJson("{\"a\": }", doc, &error));
+    EXPECT_FALSE(error.empty());
+    EXPECT_FALSE(parseJson("{\"a\": 1} trailing", doc, &error));
+    EXPECT_FALSE(parseJson("", doc, &error));
+    EXPECT_FALSE(parseJson("{\"a\": 1", doc, &error));
+}
+
+TEST(JsonFlat, RoundTripsTheMetricsExporter)
+{
+    obs::MetricsRegistry reg;
+    reg.setCounter("a.count", 42);
+    reg.setGauge("b.rate", 0.125);
+    Histogram &h = reg.histogram("c.lat", 2, 4);
+    h.sample(1, 3);
+    h.sample(5, 1);
+
+    JsonFlat doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(reg.toJson(), doc, &error)) << error;
+    EXPECT_DOUBLE_EQ(doc.number("counters/a.count"), 42.0);
+    EXPECT_DOUBLE_EQ(doc.number("gauges/b.rate"), 0.125);
+    EXPECT_DOUBLE_EQ(doc.number("histograms/c.lat/total"), 4.0);
+    EXPECT_TRUE(doc.hasNumber("histograms/c.lat/p95"));
+}
+
+// ---- BENCH run manifests ----
+
+TEST(BenchRecord, RendersSchemaPhasesTotalsAndStore)
+{
+    obs::MetricsRegistry reg;
+    reg.setCounter("store.hits", 3);
+    reg.setCounter("store.misses", 1);
+    reg.setGauge("sweep.All.geomean_delta_percent", -2.5);
+
+    obs::PhaseProfile phases;
+    phases.add("simulate", 2.0, 1000);
+    phases.add("convert", 1.0, 500);
+    phases.add("worker.1", 3.0, 1500);   // excluded from the totals
+
+    std::ostringstream os;
+    obs::renderBenchRecord(os, "unit", 3.0, reg, phases);
+
+    JsonFlat doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(os.str(), doc, &error)) << error << "\n"
+                                                  << os.str();
+    EXPECT_EQ(doc.str("schema"), obs::kBenchSchema);
+    EXPECT_EQ(doc.str("bench"), "unit");
+    EXPECT_FALSE(doc.str("host").empty());
+    EXPECT_FALSE(doc.str("git_sha").empty());
+    EXPECT_DOUBLE_EQ(doc.number("wall_seconds"), 3.0);
+    EXPECT_DOUBLE_EQ(doc.number("phases/simulate/seconds"), 2.0);
+    EXPECT_DOUBLE_EQ(doc.number("phases/simulate/items_per_second"),
+                     500.0);
+    EXPECT_DOUBLE_EQ(doc.number("phases/worker.1/items"), 1500.0);
+    EXPECT_DOUBLE_EQ(doc.number("totals/items"), 1500.0);
+    EXPECT_DOUBLE_EQ(doc.number("totals/items_per_second"), 500.0);
+    EXPECT_DOUBLE_EQ(doc.number("store/hits"), 3.0);
+    EXPECT_DOUBLE_EQ(doc.number("store/hit_rate"), 0.75);
+    EXPECT_DOUBLE_EQ(
+        doc.number("gauges/sweep.All.geomean_delta_percent"), -2.5);
+}
+
+TEST(BenchRecord, EnvFingerprintListsOnlySetVars)
+{
+    EnvGuard len("TRB_TRACE_LEN", "12345");
+    EnvGuard scale("TRB_SUITE_SCALE", nullptr);
+
+    obs::MetricsRegistry reg;
+    obs::PhaseProfile phases;
+    std::ostringstream os;
+    obs::renderBenchRecord(os, "unit", 1.0, reg, phases);
+
+    JsonFlat doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(os.str(), doc, &error)) << error;
+    EXPECT_EQ(doc.str("env/TRB_TRACE_LEN"), "12345");
+    EXPECT_EQ(doc.str("env/TRB_SUITE_SCALE", "<unset>"), "<unset>");
+}
+
+TEST(BenchRecord, PathHonoursBenchDir)
+{
+    {
+        EnvGuard dir("TRB_OBS_BENCH_DIR", nullptr);
+        EXPECT_EQ(obs::benchRecordPath("fig1"), "./BENCH_fig1.json");
+    }
+    {
+        EnvGuard dir("TRB_OBS_BENCH_DIR", "/tmp/records");
+        EXPECT_EQ(obs::benchRecordPath("fig1"),
+                  "/tmp/records/BENCH_fig1.json");
+    }
+    {
+        EnvGuard dir("TRB_OBS_BENCH_DIR", "0");
+        EXPECT_EQ(obs::benchRecordPath("fig1"), "");
+    }
+    {
+        EnvGuard dir("TRB_OBS_BENCH_DIR", "off");
+        EXPECT_EQ(obs::benchRecordPath("fig1"), "");
+    }
+}
+
+// ---- the time-series sampler ----
+
+TEST(Sampler, DirectDriveEmitsParseableSamples)
+{
+    obs::Sampler::Options opts;   // periodMs 0: no thread, no file
+    obs::Sampler sampler(opts);
+
+    obs::MetricsRegistry::global().setCounter("telemetry.test.count", 7);
+    std::ostringstream os;
+    sampler.sampleOnce(os);
+    sampler.sampleOnce(os);
+    EXPECT_EQ(sampler.samplesTaken(), 2u);
+
+    std::istringstream lines(os.str());
+    std::string line;
+    std::size_t parsed = 0;
+    while (std::getline(lines, line)) {
+        JsonFlat doc;
+        std::string error;
+        ASSERT_TRUE(parseJson(line, doc, &error)) << error << "\n" << line;
+        EXPECT_EQ(doc.str("schema"), "trb-sample-v1");
+        EXPECT_GE(doc.number("t"), 0.0);
+#ifdef __linux__
+        EXPECT_GT(doc.number("rss_kb"), 0.0);
+#endif
+        EXPECT_DOUBLE_EQ(doc.number("counters/telemetry.test.count"),
+                         7.0);
+        ++parsed;
+    }
+    EXPECT_EQ(parsed, 2u);
+}
+
+TEST(Sampler, HeartbeatWritesJsonlAndStopIsIdempotent)
+{
+    const std::string path =
+        testing::TempDir() + "trb_sampler_test.jsonl";
+    obs::Sampler::Options opts;
+    opts.periodMs = 2;
+    opts.path = path;
+    {
+        obs::Sampler sampler(opts);
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+        sampler.stop();
+        const std::uint64_t after_stop = sampler.samplesTaken();
+        EXPECT_GE(after_stop, 1u);   // final sample at minimum
+        sampler.stop();              // second stop: no-op
+        EXPECT_EQ(sampler.samplesTaken(), after_stop);
+    }   // destructor after stop(): also a no-op
+
+    std::ifstream in(path);
+    ASSERT_TRUE(in.good());
+    std::string line;
+    std::size_t parsed = 0;
+    while (std::getline(in, line)) {
+        JsonFlat doc;
+        std::string error;
+        ASSERT_TRUE(parseJson(line, doc, &error)) << error << "\n" << line;
+        EXPECT_EQ(doc.str("schema"), "trb-sample-v1");
+        ++parsed;
+    }
+    EXPECT_GE(parsed, 1u);
+    std::remove(path.c_str());
+}
+
+TEST(Sampler, RssIsPlausible)
+{
+#ifdef __linux__
+    const std::uint64_t rss = obs::Sampler::processRssKb();
+    EXPECT_GT(rss, 1024u);            // a C++ test binary exceeds 1 MiB
+    EXPECT_LT(rss, 64u * 1024 * 1024);   // ... and stays under 64 GiB
+#endif
+}
+
+TEST(Sampler, StartFromEnvIsOffByDefault)
+{
+    EnvGuard ms("TRB_OBS_SAMPLE_MS", nullptr);
+    EXPECT_EQ(obs::Sampler::startFromEnv(), nullptr);
+}
+
+// ---- the span timeline ----
+
+/** RAII guard: force span collection on/off, re-read env afterwards. */
+struct SpanEnableGuard
+{
+    explicit SpanEnableGuard(bool on)
+    {
+        obs::SpanTimeline::setEnabledForTests(on ? 1 : 0);
+    }
+    ~SpanEnableGuard()
+    {
+        obs::SpanTimeline::global().clear();
+        obs::SpanTimeline::setEnabledForTests(-1);
+    }
+};
+
+TEST(SpanTimeline, DisabledScopesRecordNothing)
+{
+    SpanEnableGuard guard(false);
+    obs::SpanTimeline::global().clear();
+    {
+        obs::SpanScope outer("outer", "bench");
+        obs::SpanScope inner("inner", "trace");
+    }
+    EXPECT_EQ(obs::SpanTimeline::global().size(), 0u);
+}
+
+TEST(SpanTimeline, RecordsNestedScopesWithDepth)
+{
+    SpanEnableGuard guard(true);
+    obs::SpanTimeline::global().clear();
+    {
+        obs::SpanScope outer("outer", "bench");
+        {
+            obs::SpanScope inner("inner", "trace", 250);
+        }
+    }
+    const std::vector<obs::SpanEvent> spans =
+        obs::SpanTimeline::global().snapshot();
+    ASSERT_EQ(spans.size(), 2u);
+    // Completion order: inner closes first.
+    EXPECT_EQ(spans[0].name, "inner");
+    EXPECT_EQ(spans[0].depth, 1u);
+    EXPECT_EQ(spans[0].items, 250u);
+    EXPECT_EQ(spans[1].name, "outer");
+    EXPECT_EQ(spans[1].depth, 0u);
+    EXPECT_GE(spans[1].durUs, spans[0].durUs);
+}
+
+TEST(SpanTimeline, GlobalScopeTimersLandInTheTimeline)
+{
+    SpanEnableGuard guard(true);
+    obs::SpanTimeline::global().clear();
+    {
+        obs::ScopeTimer timer("telemetry.phase");
+        timer.setItems(10);
+    }
+    const std::vector<obs::SpanEvent> spans =
+        obs::SpanTimeline::global().snapshot();
+    ASSERT_EQ(spans.size(), 1u);
+    EXPECT_EQ(spans[0].name, "telemetry.phase");
+    EXPECT_EQ(spans[0].category, "phase");
+    EXPECT_EQ(spans[0].items, 10u);
+
+    // A private-profile timer stays out of the shared timeline.
+    obs::PhaseProfile profile;
+    {
+        obs::ScopeTimer timer(profile, "private.phase");
+    }
+    EXPECT_EQ(obs::SpanTimeline::global().size(), 1u);
+}
+
+TEST(SpanTimeline, ChromeTraceIsValidJsonWithWorkerLanes)
+{
+    SpanEnableGuard guard(true);
+    obs::SpanTimeline::global().clear();
+    {
+        obs::SpanScope sweep("sweep", "sweep");
+        obs::SpanScope trace("trace.t0", "trace", 1000);
+    }
+    std::ostringstream os;
+    obs::SpanTimeline::global().writeChromeTrace(os);
+    const std::string json = os.str();
+
+    JsonFlat doc;
+    std::string error;
+    ASSERT_TRUE(parseJson(json, doc, &error)) << error << "\n" << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"trace.t0\""), std::string::npos);
+    EXPECT_NE(json.find("process_name"), std::string::npos);
+    // Wall-clock spans live on pid 0.
+    EXPECT_DOUBLE_EQ(doc.number("traceEvents/1/pid", -1.0), 0.0);
+}
+
+// ---- the perf comparator ----
+
+std::string
+benchJson(double items_per_second, double wall,
+          const char *schema = "trb-bench-v1")
+{
+    std::ostringstream os;
+    os << "{\"schema\": \"" << schema << "\", \"bench\": \"unit\", "
+       << "\"wall_seconds\": " << wall << ", \"totals\": {\"items\": "
+       << items_per_second * wall << ", \"items_per_second\": "
+       << items_per_second << "}, \"phases\": {\"simulate\": "
+       << "{\"seconds\": " << wall << ", \"items_per_second\": "
+       << items_per_second << "}}}";
+    return os.str();
+}
+
+JsonFlat
+parsedBench(const std::string &text)
+{
+    JsonFlat doc;
+    std::string error;
+    EXPECT_TRUE(parseJson(text, doc, &error)) << error;
+    return doc;
+}
+
+TEST(PerfCompare, IdenticalRecordsPass)
+{
+    const JsonFlat rec = parsedBench(benchJson(1e6, 2.0));
+    const obs::PerfCompareResult result =
+        obs::comparePerfRecords(rec, rec, {});
+    EXPECT_TRUE(result.ok()) << result.error;
+    EXPECT_FALSE(result.regression);
+    ASSERT_FALSE(result.deltas.empty());
+    for (const obs::PerfDelta &d : result.deltas)
+        EXPECT_DOUBLE_EQ(d.deltaPercent, 0.0);
+}
+
+TEST(PerfCompare, TenPercentDropIsFlaggedAtDefaultThreshold)
+{
+    const JsonFlat base = parsedBench(benchJson(1e6, 2.0));
+    const JsonFlat cand = parsedBench(benchJson(0.9e6, 2.2));
+    const obs::PerfCompareResult result =
+        obs::comparePerfRecords(base, cand, {});
+    EXPECT_TRUE(result.error.empty()) << result.error;
+    EXPECT_TRUE(result.regression);
+
+    bool found = false;
+    for (const obs::PerfDelta &d : result.deltas)
+        if (d.metric == "totals/items_per_second") {
+            found = true;
+            EXPECT_TRUE(d.gated);
+            EXPECT_TRUE(d.regression);
+            EXPECT_NEAR(d.deltaPercent, -10.0, 0.01);
+        }
+    EXPECT_TRUE(found);
+
+    std::ostringstream os;
+    obs::renderPerfTable(os, result);
+    EXPECT_NE(os.str().find("REGRESSION"), std::string::npos);
+}
+
+TEST(PerfCompare, SmallDriftStaysInsideTheNoiseBand)
+{
+    const JsonFlat base = parsedBench(benchJson(1e6, 2.0));
+    const JsonFlat cand = parsedBench(benchJson(0.97e6, 2.0));
+    const obs::PerfCompareResult result =
+        obs::comparePerfRecords(base, cand, {});
+    EXPECT_TRUE(result.ok()) << result.error;
+}
+
+TEST(PerfCompare, PerMetricThresholdOverridesTheGlobal)
+{
+    const JsonFlat base = parsedBench(benchJson(1e6, 2.0));
+    const JsonFlat cand = parsedBench(benchJson(0.97e6, 2.0));
+    obs::PerfCompareOptions opts;
+    opts.perMetricThresholdPercent["totals/items_per_second"] = 2.0;
+    const obs::PerfCompareResult result =
+        obs::comparePerfRecords(base, cand, opts);
+    EXPECT_TRUE(result.regression);
+    // Only the overridden metric regresses; the phase rate keeps the
+    // 5% default and a 3% drop passes there.
+    for (const obs::PerfDelta &d : result.deltas) {
+        if (d.metric == "phases/simulate/items_per_second") {
+            EXPECT_FALSE(d.regression);
+        }
+    }
+}
+
+TEST(PerfCompare, ImprovementsAndWallTimeNeverGate)
+{
+    const JsonFlat base = parsedBench(benchJson(1e6, 2.0));
+    // Throughput doubled, wall time tripled: still a pass -- wall
+    // clock is context, throughput gates and only on drops.
+    const JsonFlat cand = parsedBench(benchJson(2e6, 6.0));
+    const obs::PerfCompareResult result =
+        obs::comparePerfRecords(base, cand, {});
+    EXPECT_TRUE(result.ok()) << result.error;
+    for (const obs::PerfDelta &d : result.deltas) {
+        if (d.metric == "wall_seconds") {
+            EXPECT_FALSE(d.gated);
+        }
+    }
+}
+
+TEST(PerfCompare, SchemaMismatchIsAnError)
+{
+    const JsonFlat base = parsedBench(benchJson(1e6, 2.0));
+    const JsonFlat cand =
+        parsedBench(benchJson(1e6, 2.0, "trb-bench-v999"));
+    const obs::PerfCompareResult result =
+        obs::comparePerfRecords(base, cand, {});
+    EXPECT_FALSE(result.error.empty());
+    EXPECT_FALSE(result.ok());
+}
+
+TEST(PerfCompare, VacuousGateIsAnError)
+{
+    const JsonFlat empty = parsedBench(
+        "{\"schema\": \"trb-bench-v1\", \"wall_seconds\": 1.0}");
+    const obs::PerfCompareResult result =
+        obs::comparePerfRecords(empty, empty, {});
+    EXPECT_FALSE(result.error.empty());
+}
+
+TEST(PerfCompare, OneSidedMetricsAreReportedNotGated)
+{
+    const JsonFlat base = parsedBench(benchJson(1e6, 2.0));
+    JsonFlat cand = parsedBench(benchJson(1e6, 2.0));
+    cand.numbers["phases/newstage/items_per_second"] = 5e5;
+    const obs::PerfCompareResult result =
+        obs::comparePerfRecords(base, cand, {});
+    EXPECT_TRUE(result.ok()) << result.error;
+    ASSERT_EQ(result.missing.size(), 1u);
+    EXPECT_EQ(result.missing[0], "phases/newstage/items_per_second");
+}
+
+// ---- worker-pool telemetry and flush-on-exception ----
+
+TEST(ThreadPoolTelemetry, QueueDepthsMatchJobsAndDrainToZero)
+{
+    par::ThreadPool pool(4);
+    EXPECT_EQ(pool.queueDepths().size(), 4u);
+    std::atomic<std::size_t> ran{0};
+    pool.parallelFor(64, [&](std::size_t) {
+        ran.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(ran.load(), 64u);
+    for (std::size_t depth : pool.queueDepths())
+        EXPECT_EQ(depth, 0u);
+}
+
+TEST(ThreadPoolTelemetry, UnevenWorkProducesSteals)
+{
+    par::ThreadPool pool(4);
+    // Front-loaded work: worker 0 seeds everything, thieves must steal.
+    std::atomic<std::size_t> ran{0};
+    pool.parallelFor(256, [&](std::size_t i) {
+        volatile double sink = 0;
+        for (std::size_t k = 0; k < (i % 7) * 1000; ++k)
+            sink = sink + 1.0;
+        ran.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(ran.load(), 256u);
+    // Steals are schedule-dependent; with 4 threads and 256 tasks at
+    // least one steal is overwhelmingly likely, but assert only the
+    // invariant: the counter never exceeds the tasks run.
+    EXPECT_LE(pool.stealCount(), 256u);
+}
+
+TEST(ThreadPoolTelemetry, GlobalIfStartedSeesTheGlobalPool)
+{
+    par::ThreadPool &pool = par::ThreadPool::global();
+    EXPECT_EQ(par::ThreadPool::globalIfStarted(), &pool);
+}
+
+TEST(ThreadMetricsBuffer, FlushesOnExceptionUnderParallelism)
+{
+    obs::MetricsRegistry reg;
+    par::ThreadPool pool(4);
+    constexpr std::size_t kTasks = 100;
+    bool threw = false;
+    try {
+        pool.parallelFor(kTasks, [&](std::size_t i) {
+            obs::ThreadMetricsBuffer buf(reg);
+            buf.add("telemetry.increments", 1);
+            if (i == 37)
+                throw std::runtime_error("injected task failure");
+        });
+    } catch (const std::runtime_error &) {
+        threw = true;
+    }
+    EXPECT_TRUE(threw);
+    // The throwing task's buffer flushed during unwinding; nothing was
+    // lost and nothing double-counted.
+    EXPECT_EQ(reg.counterValue("telemetry.increments"), kTasks);
+}
+
+// ---- SuiteProgress rendering styles ----
+
+TEST(SuiteProgress, SparseStyleEmitsMilestoneLinesWithoutCr)
+{
+    LogLevelGuard guard;
+    setLogLevel(LogLevel::Info);
+    testing::internal::CaptureStderr();
+    {
+        obs::SuiteProgress progress("sparse-suite", 20,
+                                    obs::SuiteProgress::Style::Sparse);
+        for (std::size_t i = 0; i < 20; ++i)
+            progress.step(i, 100);
+    }
+    const std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(err.find('\r'), std::string::npos);
+    EXPECT_EQ(err.find("\033"), std::string::npos);
+    // total/10 stride: milestones at 2,4,...,20 plus the summary line.
+    std::size_t lines = 0;
+    for (char c : err)
+        lines += c == '\n';
+    EXPECT_EQ(lines, 11u);
+    EXPECT_NE(err.find("sparse-suite: 20/20"), std::string::npos);
+}
+
+TEST(SuiteProgress, LiveStyleRedrawsWithCarriageReturns)
+{
+    LogLevelGuard guard;
+    setLogLevel(LogLevel::Info);
+    testing::internal::CaptureStderr();
+    {
+        obs::SuiteProgress progress("live-suite", 4,
+                                    obs::SuiteProgress::Style::Live);
+        for (std::size_t i = 0; i < 4; ++i)
+            progress.step(i, 100);
+    }
+    const std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_NE(err.find('\r'), std::string::npos);
+    EXPECT_NE(err.find("live-suite: 4/4 (100%)"), std::string::npos);
+    // The destructor erased the progress line before the summary.
+    EXPECT_NE(err.find("\033[2K"), std::string::npos);
+}
+
+TEST(SuiteProgress, SilentStyleOnlySummarises)
+{
+    LogLevelGuard guard;
+    setLogLevel(LogLevel::Info);
+    testing::internal::CaptureStderr();
+    {
+        obs::SuiteProgress progress("silent-suite", 8,
+                                    obs::SuiteProgress::Style::Silent);
+        for (std::size_t i = 0; i < 8; ++i)
+            progress.step(i, 100);
+    }
+    const std::string err = testing::internal::GetCapturedStderr();
+    std::size_t lines = 0;
+    for (char c : err)
+        lines += c == '\n';
+    EXPECT_EQ(lines, 1u);   // just the end-of-suite summary
+}
+
+TEST(SuiteProgress, StyleFromEnvironmentIsSparseWhenNotATty)
+{
+    LogLevelGuard guard;
+    setLogLevel(LogLevel::Info);
+    // Capture redirects stderr to a file, so it is never a terminal
+    // here whatever ctest or a developer shell did with the fds.
+    testing::internal::CaptureStderr();
+    const obs::SuiteProgress::Style at_info =
+        obs::SuiteProgress::styleFromEnvironment();
+    setLogLevel(LogLevel::Warn);
+    const obs::SuiteProgress::Style at_warn =
+        obs::SuiteProgress::styleFromEnvironment();
+    testing::internal::GetCapturedStderr();
+    EXPECT_EQ(at_info, obs::SuiteProgress::Style::Sparse);
+    EXPECT_EQ(at_warn, obs::SuiteProgress::Style::Silent);
+}
+
+} // namespace
+} // namespace trb
