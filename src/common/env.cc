@@ -34,6 +34,11 @@ registry()
                           " here at exit"},
         {"TRB_PIPE_JSON", "write a Chrome trace of the pipeline here"},
         {"TRB_RETRIES", "attempts for transient I/O failures"},
+        {"TRB_SERVE_QUANTUM", "requests served per client per"
+                              " round-robin turn"},
+        {"TRB_SERVE_QUEUE", "daemon queue bound; beyond it requests get"
+                            " a typed busy reply"},
+        {"TRB_SERVE_SOCKET", "trace_served Unix-domain socket path"},
         {"TRB_STORE", "content-addressed artifact cache directory"},
         {"TRB_SUITE_SCALE", "fraction (0,1] of each trace suite to run"},
         {"TRB_TRACE_BUF", "pipeline event tracer ring capacity"},

@@ -81,6 +81,21 @@ class ThreadPool
                      const std::function<void(std::size_t)> &fn);
 
     /**
+     * Enqueue one detached task: @p fn runs once, on some pool worker,
+     * as soon as a worker is free.  Returns immediately -- completion is
+     * the task's own business (signal through whatever state it closes
+     * over).  With jobs() == 1 the task runs inline on the caller before
+     * submit() returns, preserving the TRB_JOBS=1 exact-serial contract.
+     *
+     * Unlike parallelFor(), nobody waits to rethrow: an escaping
+     * exception is logged as a warning and swallowed, so submitters that
+     * care must catch inside @p fn.  This is the serving layer's entry
+     * point (trb::serve dispatches one accepted request per submit());
+     * batch sweeps should keep using parallelFor()/parallelMap().
+     */
+    void submit(std::function<void()> fn);
+
+    /**
      * Map @p items through @p fn in parallel, returning results in
      * input order (index-addressed, so the result is independent of the
      * schedule).
@@ -145,6 +160,7 @@ class ThreadPool
     std::size_t jobs_;
     std::vector<std::unique_ptr<WorkerQueue>> queues_;
     std::vector<std::thread> threads_;
+    std::atomic<std::size_t> submitCursor_{0};   //!< spreads submit()s
 
     std::mutex sleepMutex_;
     std::condition_variable sleepCv_;

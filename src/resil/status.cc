@@ -23,6 +23,10 @@ errorClassName(ErrorClass cls)
         return "bad_magic";
       case ErrorClass::Internal:
         return "internal";
+      case ErrorClass::BadRequest:
+        return "bad_request";
+      case ErrorClass::Busy:
+        return "busy";
     }
     return "unknown";
 }
@@ -63,6 +67,18 @@ Status
 Status::internal(std::string msg)
 {
     return Status(ErrorClass::Internal, std::move(msg));
+}
+
+Status
+Status::badRequest(std::string msg)
+{
+    return Status(ErrorClass::BadRequest, std::move(msg));
+}
+
+Status
+Status::busy(std::string msg)
+{
+    return Status(ErrorClass::Busy, std::move(msg));
 }
 
 std::string

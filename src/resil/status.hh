@@ -3,15 +3,17 @@
  * trb::resil -- the structured error model the robust I/O paths speak.
  *
  * A Status is either OK or one error of a small taxonomy
- * (TruncatedInput, CorruptRecord, IoError, BadMagic, Internal) carrying
- * rich diagnostics: the offending path, the absolute byte offset, the
+ * (TruncatedInput, CorruptRecord, IoError, BadMagic, Internal,
+ * BadRequest, Busy) carrying rich diagnostics: the offending path, the absolute byte offset, the
  * record index inside the stream, and the format rule that was violated.
  * Expected<T> is the value-or-Status sum type the non-fatal readers
  * return.
  *
  * The taxonomy is deliberately coarse: callers dispatch policy on the
- * class (IoError is retryable, everything else quarantines) and log the
- * message for humans.  Every constructed error also bumps the
+ * class (IoError and Busy are retryable, everything else quarantines)
+ * and log the message for humans.  The serving layer (trb::serve) uses
+ * the same classes on the wire: BadRequest rejects a malformed request,
+ * Busy is the typed backpressure reply a client backs off from.  Every constructed error also bumps the
  * resil.errors.<class> counter in the global metrics registry, so a
  * sweep's failure profile lands in the standard TRB_OBS_JSON export.
  */
@@ -37,6 +39,8 @@ enum class ErrorClass : std::uint8_t
     IoError,          //!< open/read/write/close failure (retryable)
     BadMagic,         //!< not the expected file format at all
     Internal,         //!< a TraceRebase bug surfaced as data
+    BadRequest,       //!< a malformed/unsupported request (trb::serve)
+    Busy,             //!< bounded queue full; back off and resubmit
 };
 
 /** Stable lower-case name of an error class ("truncated_input", ...). */
@@ -64,6 +68,8 @@ class Status
     static Status ioError(std::string msg);
     static Status badMagic(std::string msg);
     static Status internal(std::string msg);
+    static Status badRequest(std::string msg);
+    static Status busy(std::string msg);
 
     /** Attach the offending file and position. */
     Status &
@@ -94,8 +100,13 @@ class Status
     std::uint64_t recordIndex() const { return recordIndex_; }
     const std::string &ruleViolated() const { return rule_; }
 
-    /** Retryable errors: transient I/O, not data corruption. */
-    bool retryable() const { return cls_ == ErrorClass::IoError; }
+    /** Retryable errors: transient I/O or an overloaded server -- the
+     *  condition clears on its own; resubmitting is correct. */
+    bool
+    retryable() const
+    {
+        return cls_ == ErrorClass::IoError || cls_ == ErrorClass::Busy;
+    }
 
     /**
      * One-line rendering:

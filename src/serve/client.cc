@@ -1,0 +1,120 @@
+#include "serve/client.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace trb
+{
+namespace serve
+{
+
+Status
+ServeClient::connect(const std::string &socketPath)
+{
+    close();
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socketPath.size() >= sizeof(addr.sun_path))
+        return Status::ioError("socket path longer than sun_path (" +
+                               socketPath + ")")
+            .at(socketPath)
+            .rule("serve.socket");
+    std::strncpy(addr.sun_path, socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        return Status::ioError(std::string("socket: ") +
+                               std::strerror(errno))
+            .rule("serve.socket");
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        Status st = Status::ioError(std::string("connect: ") +
+                                    std::strerror(errno))
+                        .at(socketPath)
+                        .rule("serve.socket");
+        close();
+        return st;
+    }
+    return Status{};
+}
+
+void
+ServeClient::close()
+{
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+}
+
+Status
+ServeClient::send(const ServeRequest &req)
+{
+    if (fd_ < 0)
+        return Status::ioError("not connected").rule("serve.socket");
+    return writeFrame(fd_, requestJson(req));
+}
+
+Status
+ServeClient::recv(ServeReply &reply)
+{
+    if (fd_ < 0)
+        return Status::ioError("not connected").rule("serve.socket");
+    std::string payload;
+    if (Status st = readFrame(fd_, payload); !st.ok())
+        return st;
+    return parseReply(payload, reply);
+}
+
+Status
+ServeClient::call(const ServeRequest &req, ServeReply &reply)
+{
+    if (Status st = send(req); !st.ok())
+        return st;
+    return recv(reply);
+}
+
+Status
+ServeClient::callRetryBusy(const ServeRequest &req, ServeReply &reply,
+                           int attempts)
+{
+    int delayMs = 1;
+    for (int attempt = 1;; ++attempt) {
+        if (Status st = call(req, reply); !st.ok())
+            return st;
+        if (reply.ok ||
+            reply.error.errorClass() != ErrorClass::Busy ||
+            attempt >= attempts)
+            return Status{};
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(delayMs));
+        delayMs = delayMs >= 100 ? 100 : delayMs * 2;
+    }
+}
+
+Status
+ServeClient::ping(ServeReply &reply)
+{
+    ServeRequest req;
+    req.op = Op::Ping;
+    return call(req, reply);
+}
+
+Status
+ServeClient::stats(ServeReply &reply)
+{
+    ServeRequest req;
+    req.op = Op::Stats;
+    return call(req, reply);
+}
+
+} // namespace serve
+} // namespace trb

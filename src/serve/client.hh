@@ -1,0 +1,80 @@
+/**
+ * @file
+ * ServeClient: a blocking connection to a running trace_served, used by
+ * tools/trace_client and the serve tests.
+ *
+ * One client = one connection = one fairness lane on the daemon.  The
+ * call() convenience sends one request frame and waits for one reply
+ * frame, which matches the protocol's ordering guarantee: replies on a
+ * connection arrive in dispatch order, but pipelined sim requests may
+ * complete out of submission order, so pipelining callers (the soak
+ * test) must pair replies to requests by their "id" tag, not by
+ * position.
+ *
+ * Not thread-safe: one thread per ServeClient (each soak thread opens
+ * its own connection, which is also the fair thing to measure).
+ */
+
+#ifndef TRB_SERVE_CLIENT_HH
+#define TRB_SERVE_CLIENT_HH
+
+#include <string>
+
+#include "resil/status.hh"
+#include "serve/protocol.hh"
+
+namespace trb
+{
+namespace serve
+{
+
+/** Blocking client connection to a ServeDaemon socket. */
+class ServeClient
+{
+  public:
+    ServeClient() = default;
+    ~ServeClient() { close(); }
+
+    ServeClient(const ServeClient &) = delete;
+    ServeClient &operator=(const ServeClient &) = delete;
+
+    /** Connect to @p socketPath.  IoError (with errno text) on failure. */
+    Status connect(const std::string &socketPath);
+
+    /** Hang up; harmless when not connected. */
+    void close();
+
+    bool connected() const { return fd_ >= 0; }
+
+    /** @name Raw frame I/O (pipelining callers drive these directly) @{ */
+    Status send(const ServeRequest &req);
+    Status recv(ServeReply &reply);
+    /** @} */
+
+    /**
+     * One request, one reply.  The returned Status covers transport
+     * only; an error *reply* returns OK with reply.ok == false.
+     */
+    Status call(const ServeRequest &req, ServeReply &reply);
+
+    /**
+     * call() that retries on a `busy` reply with doubling backoff
+     * (1 ms, 2 ms, ... capped at 100 ms), up to @p attempts sends.
+     * Still OK + reply.ok == false if the last attempt was busy too.
+     */
+    Status callRetryBusy(const ServeRequest &req, ServeReply &reply,
+                         int attempts = 10);
+
+    /** @name Conveniences for the common ops @{ */
+    Status ping(ServeReply &reply);
+    Status stats(ServeReply &reply);
+    /** @} */
+
+  private:
+    int fd_ = -1;
+};
+
+} // namespace serve
+} // namespace trb
+
+#endif // TRB_SERVE_CLIENT_HH

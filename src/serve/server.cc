@@ -1,0 +1,406 @@
+#include "serve/server.hh"
+
+#include <cerrno>
+#include <cstring>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/env.hh"
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "sim/simulator.hh"
+
+namespace trb
+{
+namespace serve
+{
+
+namespace
+{
+
+obs::MetricsRegistry &
+reg()
+{
+    return obs::MetricsRegistry::global();
+}
+
+} // namespace
+
+ServeConfig
+ServeConfig::fromEnv()
+{
+    ServeConfig cfg;
+    cfg.socketPath = env::str("TRB_SERVE_SOCKET", cfg.socketPath);
+    cfg.queueBound = static_cast<std::size_t>(
+        env::u64("TRB_SERVE_QUEUE", cfg.queueBound));
+    cfg.quantum = static_cast<std::size_t>(
+        env::u64("TRB_SERVE_QUANTUM", cfg.quantum));
+    if (cfg.queueBound == 0)
+        trb_fatal("TRB_SERVE_QUEUE must be at least 1");
+    if (cfg.quantum == 0)
+        trb_fatal("TRB_SERVE_QUANTUM must be at least 1");
+    return cfg;
+}
+
+ServeDaemon::ServeDaemon(ServeConfig cfg, par::ThreadPool *pool)
+    : cfg_(std::move(cfg)),
+      pool_(pool ? pool : &par::ThreadPool::global()),
+      queue_(cfg_.queueBound, cfg_.quantum)
+{
+    maxInflight_ =
+        cfg_.maxInflight ? cfg_.maxInflight : pool_->jobs();
+}
+
+ServeDaemon::~ServeDaemon()
+{
+    stop();
+}
+
+double
+ServeDaemon::uptimeSeconds() const
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - startTime_)
+        .count();
+}
+
+Status
+ServeDaemon::start()
+{
+    if (running_)
+        return Status::internal("daemon already running")
+            .rule("serve.start");
+
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (cfg_.socketPath.size() >= sizeof(addr.sun_path))
+        return Status::ioError("socket path longer than sun_path (" +
+                               cfg_.socketPath + ")")
+            .at(cfg_.socketPath)
+            .rule("serve.socket");
+    std::strncpy(addr.sun_path, cfg_.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+
+    listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listenFd_ < 0)
+        return Status::ioError(std::string("socket: ") +
+                               std::strerror(errno))
+            .rule("serve.socket");
+
+    // Replace a stale socket file from a crashed predecessor.
+    ::unlink(cfg_.socketPath.c_str());
+    if (::bind(listenFd_, reinterpret_cast<sockaddr *>(&addr),
+               sizeof(addr)) != 0) {
+        Status st = Status::ioError(std::string("bind: ") +
+                                    std::strerror(errno))
+                        .at(cfg_.socketPath)
+                        .rule("serve.socket");
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return st;
+    }
+    if (::listen(listenFd_, 64) != 0) {
+        Status st = Status::ioError(std::string("listen: ") +
+                                    std::strerror(errno))
+                        .at(cfg_.socketPath)
+                        .rule("serve.socket");
+        ::close(listenFd_);
+        listenFd_ = -1;
+        return st;
+    }
+
+    startTime_ = std::chrono::steady_clock::now();
+    stopping_ = false;
+    running_ = true;
+    reg().setGauge("serve.inflight", 0.0);
+    reg().setGauge("serve.queue_depth", 0.0);
+    acceptThread_ = std::thread([this] { acceptLoop(); });
+    dispatchThread_ = std::thread([this] { dispatchLoop(); });
+    trb_inform("trace_served listening on ", cfg_.socketPath,
+               " (jobs ", pool_->jobs(), ", queue ", cfg_.queueBound,
+               ", quantum ", cfg_.quantum, ")");
+    return Status{};
+}
+
+void
+ServeDaemon::stop()
+{
+    if (!running_)
+        return;
+    {
+        std::lock_guard<std::mutex> lock(dispatchMutex_);
+        stopping_ = true;
+    }
+    dispatchCv_.notify_all();
+
+    // Unblock accept(); on Linux a shutdown listening socket returns
+    // EINVAL from accept, which the loop treats as "time to go".
+    ::shutdown(listenFd_, SHUT_RDWR);
+    acceptThread_.join();
+
+    // The dispatcher answers everything still queued with a typed busy
+    // reply, then exits once nothing is inflight.
+    dispatchThread_.join();
+
+    // Hang up every connection; the readers see EOF and exit.
+    {
+        std::lock_guard<std::mutex> lock(connsMutex_);
+        for (auto &conn : conns_)
+            ::shutdown(conn->fd, SHUT_RDWR);
+    }
+    {
+        std::lock_guard<std::mutex> lock(connsMutex_);
+        for (auto &conn : conns_) {
+            if (conn->reader.joinable())
+                conn->reader.join();
+            ::close(conn->fd);
+        }
+        conns_.clear();
+    }
+
+    // Late pushes that raced the dispatcher's drain go unanswered (the
+    // peer is gone); discard them so nothing dangles.
+    Job job;
+    while (queue_.pop(job)) {
+    }
+
+    ::close(listenFd_);
+    listenFd_ = -1;
+    ::unlink(cfg_.socketPath.c_str());
+    running_ = false;
+    trb_inform("trace_served stopped (", served_.load(),
+               " requests served)");
+}
+
+void
+ServeDaemon::reapFinishedConns()
+{
+    std::lock_guard<std::mutex> lock(connsMutex_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+        Conn &conn = **it;
+        if (conn.done && conn.pendingJobs == 0) {
+            conn.reader.join();
+            ::close(conn.fd);
+            it = conns_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+ServeDaemon::acceptLoop()
+{
+    for (;;) {
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR)
+                continue;
+            return;   // closed or shut down: stopping
+        }
+        if (stopping_) {
+            ::close(fd);
+            return;
+        }
+        reg().addCounter("serve.connections");
+        {
+            std::lock_guard<std::mutex> lock(connsMutex_);
+            conns_.push_back(std::make_unique<Conn>());
+            Conn *conn = conns_.back().get();
+            conn->fd = fd;
+            conn->client = "conn-" + std::to_string(++connCounter_);
+            conn->reader =
+                std::thread([this, conn] { readerLoop(conn); });
+        }
+        reapFinishedConns();
+    }
+}
+
+void
+ServeDaemon::sendReply(Conn *conn, const std::string &payload)
+{
+    std::lock_guard<std::mutex> lock(conn->writeMutex);
+    if (Status st = writeFrame(conn->fd, payload); !st.ok())
+        trb_debug("reply to ", conn->client, " failed: ",
+                  st.toString());
+}
+
+void
+ServeDaemon::readerLoop(Conn *conn)
+{
+    bool violated = false;
+    for (;;) {
+        std::string payload;
+        Status st = readFrame(conn->fd, payload);
+        if (!st.ok()) {
+            // A framing violation cannot be resynchronised: report it
+            // once (best effort) and hang up.  Clean closes and
+            // shutdown races stay quiet.
+            if (!isCleanClose(st) && !stopping_) {
+                trb_debug(conn->client, ": ", st.toString());
+                if (st.errorClass() == ErrorClass::CorruptRecord) {
+                    sendReply(conn, errorReplyJson("", "", st));
+                    violated = true;
+                }
+            }
+            break;
+        }
+
+        ServeRequest req;
+        st = parseRequest(payload, req);
+        if (!st.ok()) {
+            reg().addCounter("serve.rejected.malformed");
+            // req.op/req.id hold whatever parsed before the failure;
+            // a fully undecodable document echoes neither.
+            const bool decoded = st.ruleViolated() != "serve.json" &&
+                                 st.ruleViolated() != "serve.op";
+            sendReply(conn,
+                      errorReplyJson(decoded ? opName(req.op) : "",
+                                     decoded ? req.id : "", st));
+            continue;
+        }
+
+        switch (req.op) {
+          case Op::Ping:
+            sendReply(conn, pingReplyJson(req.id, uptimeSeconds()));
+            break;
+          case Op::Stats:
+            sendReply(conn, statsReplyJson(req.id, uptimeSeconds(),
+                                           pool_->jobs(),
+                                           cfg_.queueBound,
+                                           cfg_.quantum));
+            break;
+          case Op::Sim: {
+            // The request moves into the queue before push() decides
+            // its fate; keep the id for the rejection path.
+            const std::string id = req.id;
+            conn->pendingJobs.fetch_add(1);
+            if (!queue_.push(conn->client,
+                             Job{conn, std::move(req)})) {
+                conn->pendingJobs.fetch_sub(1);
+                reg().addCounter("serve.rejected.busy");
+                sendReply(conn,
+                          errorReplyJson(
+                              "sim", id,
+                              Status::busy(
+                                  "queue full (" +
+                                  std::to_string(cfg_.queueBound) +
+                                  " requests); back off and resubmit")
+                                  .rule("serve.queue-bound")));
+                break;
+            }
+            reg().addCounter("serve.accepted");
+            reg().setGauge("serve.queue_depth",
+                           static_cast<double>(queue_.depth()));
+            // Touch the mutex before notifying so the wake-up cannot
+            // slip between the dispatcher's predicate and its wait.
+            {
+                std::lock_guard<std::mutex> lock(dispatchMutex_);
+            }
+            dispatchCv_.notify_all();
+            break;
+          }
+        }
+    }
+    // Hang up so a peer waiting for EOF sees it now rather than at the
+    // next reap.  A violated stream is cut outright (any inflight
+    // replies are forfeit -- the framing is broken anyway); a cleanly
+    // closed one keeps its write side while sims are still pending, so
+    // pipelined replies flush to a half-closed peer.
+    if (violated || conn->pendingJobs.load() == 0)
+        ::shutdown(conn->fd, SHUT_RDWR);
+    else
+        ::shutdown(conn->fd, SHUT_RD);
+    conn->done = true;
+}
+
+void
+ServeDaemon::dispatchLoop()
+{
+    for (;;) {
+        {
+            std::unique_lock<std::mutex> lock(dispatchMutex_);
+            dispatchCv_.wait(lock, [this] {
+                return stopping_.load() ||
+                       (queue_.depth() > 0 &&
+                        inflight_.load() < maxInflight_);
+            });
+            if (stopping_)
+                break;
+        }
+        Job job;
+        if (!queue_.pop(job))
+            continue;
+        inflight_.fetch_add(1);
+        reg().setGauge("serve.inflight",
+                       static_cast<double>(inflight_.load()));
+        reg().setGauge("serve.queue_depth",
+                       static_cast<double>(queue_.depth()));
+        const std::uint64_t seq = seq_.fetch_add(1) + 1;
+        pool_->submit([this, job = std::move(job), seq]() mutable {
+            runSim(std::move(job), seq);
+        });
+    }
+
+    // Drain: everything still queued gets a typed shutdown-busy reply.
+    Job job;
+    while (queue_.pop(job)) {
+        sendReply(job.conn,
+                  errorReplyJson("sim", job.req.id,
+                                 Status::busy("server shutting down")
+                                     .rule("serve.shutdown")));
+        job.conn->pendingJobs.fetch_sub(1);
+    }
+    reg().setGauge("serve.queue_depth", 0.0);
+
+    // Wait for inflight simulations to flush their replies.
+    std::unique_lock<std::mutex> lock(dispatchMutex_);
+    dispatchCv_.wait(lock, [this] { return inflight_.load() == 0; });
+}
+
+void
+ServeDaemon::runSim(Job job, std::uint64_t seq)
+{
+    std::string reply;
+    Expected<CvpTrace> trace = resolveTrace(job.req);
+    if (!trace.ok()) {
+        reply = errorReplyJson("sim", job.req.id, trace.status());
+    } else {
+        try {
+            SimResult result =
+                simulate(trace.value(),
+                         SimRequest{
+                             .imps = job.req.imps,
+                             .params = job.req.ipc1 ? ipc1Config()
+                                                    : modernConfig(),
+                             .warmupFraction = job.req.warmupFraction,
+                             .useStore = job.req.useStore,
+                         });
+            reply = simReplyJson(job.req.id, result, seq);
+            served_.fetch_add(1);
+            reg().addCounter("serve.served");
+            reg().addCounter("serve.client." + job.conn->client +
+                             ".served");
+        } catch (const std::exception &e) {
+            reply = errorReplyJson("sim", job.req.id,
+                                   Status::internal(e.what()));
+        }
+    }
+    sendReply(job.conn, reply);
+    job.conn->pendingJobs.fetch_sub(1);
+    reg().setGauge("serve.inflight",
+                   static_cast<double>(inflight_.load() - 1));
+    // Decrement and notify under the lock: stop() may destroy the
+    // daemon as soon as the dispatcher observes inflight == 0, and the
+    // dispatcher can only observe it after this critical section ends.
+    {
+        std::lock_guard<std::mutex> lock(dispatchMutex_);
+        inflight_.fetch_sub(1);
+        dispatchCv_.notify_all();
+    }
+}
+
+} // namespace serve
+} // namespace trb

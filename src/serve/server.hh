@@ -1,0 +1,163 @@
+/**
+ * @file
+ * ServeDaemon: the long-lived multi-tenant simulation server behind
+ * tools/trace_served.
+ *
+ * One daemon = one Unix-domain listening socket + three kinds of
+ * threads:
+ *
+ *  - an accept thread admitting connections ("clients");
+ *  - one reader thread per connection, decoding frames.  ping/stats are
+ *    answered inline; sim requests are pushed onto a bounded FairQueue
+ *    keyed by the connection, and a full queue turns into an immediate
+ *    typed `busy` reply (backpressure, never an unbounded backlog);
+ *  - a dispatcher thread popping the queue round-robin (so tenants
+ *    share the machine fairly) and handing each request to the
+ *    trb::par pool via submit(), bounded to the pool's width.
+ *
+ * Simulation itself is the ordinary simulate() call: warm requests are
+ * answered from trb::store transparently, and every reply is
+ * bit-identical to a direct simulate() of the same request -- the
+ * daemon adds scheduling, never semantics.  Progress is visible as
+ * serve.* counters/gauges in the global metrics registry (and over the
+ * wire via the stats op).  docs/serving.md is the operator manual.
+ */
+
+#ifndef TRB_SERVE_SERVER_HH
+#define TRB_SERVE_SERVER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "par/thread_pool.hh"
+#include "resil/status.hh"
+#include "serve/protocol.hh"
+#include "serve/queue.hh"
+
+namespace trb
+{
+namespace serve
+{
+
+/** Daemon knobs; fromEnv() reads the TRB_SERVE_* variables. */
+struct ServeConfig
+{
+    /** Listening socket path (beware sun_path's ~100-byte limit). */
+    std::string socketPath = "trb_serve.sock";
+
+    /** Queued-but-undispatched sim requests beyond which push -> busy. */
+    std::size_t queueBound = 64;
+
+    /** Requests served per client per round-robin turn. */
+    std::size_t quantum = 1;
+
+    /** Concurrently dispatched sims; 0 means the pool's job count. */
+    std::size_t maxInflight = 0;
+
+    /** TRB_SERVE_SOCKET / TRB_SERVE_QUEUE / TRB_SERVE_QUANTUM. */
+    static ServeConfig fromEnv();
+};
+
+/** The serving daemon.  start() to listen, stop() to drain and exit. */
+class ServeDaemon
+{
+  public:
+    /**
+     * @param cfg  serving knobs
+     * @param pool execution pool; nullptr means ThreadPool::global()
+     *             (tests inject fixed-width pools to pin TRB_JOBS)
+     */
+    explicit ServeDaemon(ServeConfig cfg = ServeConfig::fromEnv(),
+                         par::ThreadPool *pool = nullptr);
+
+    /** stop()s if still running. */
+    ~ServeDaemon();
+
+    ServeDaemon(const ServeDaemon &) = delete;
+    ServeDaemon &operator=(const ServeDaemon &) = delete;
+
+    /**
+     * Bind the socket and start serving.  IoError (with errno text) if
+     * the path cannot be bound; a stale socket file is replaced.
+     */
+    Status start();
+
+    /**
+     * Graceful shutdown: stop accepting, answer every queued request
+     * with a typed `busy` ("server shutting down"), wait for inflight
+     * simulations to finish and their replies to flush, close every
+     * connection, unlink the socket.  Idempotent.
+     */
+    void stop();
+
+    bool running() const { return running_; }
+
+    const ServeConfig &config() const { return cfg_; }
+
+    /** Sim replies sent over the daemon's lifetime. */
+    std::uint64_t served() const { return served_.load(); }
+
+    /** Seconds since start(). */
+    double uptimeSeconds() const;
+
+  private:
+    /** One accepted connection (= one fairness lane). */
+    struct Conn
+    {
+        int fd = -1;
+        std::string client;                //!< lane key, "conn-<n>"
+        std::mutex writeMutex;             //!< reader + pool replies
+        std::atomic<int> pendingJobs{0};   //!< queued or inflight sims
+        std::atomic<bool> done{false};     //!< reader thread exited
+        std::thread reader;
+    };
+
+    /** One admitted sim request waiting for dispatch. */
+    struct Job
+    {
+        Conn *conn = nullptr;
+        ServeRequest req;
+    };
+
+    void acceptLoop();
+    void readerLoop(Conn *conn);
+    void dispatchLoop();
+    void runSim(Job job, std::uint64_t seq);
+    void sendReply(Conn *conn, const std::string &payload);
+    void reapFinishedConns();
+
+    ServeConfig cfg_;
+    par::ThreadPool *pool_;
+    std::size_t maxInflight_ = 1;
+
+    int listenFd_ = -1;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+    std::chrono::steady_clock::time_point startTime_;
+
+    std::thread acceptThread_;
+    std::thread dispatchThread_;
+
+    std::mutex connsMutex_;
+    std::list<std::unique_ptr<Conn>> conns_;
+    std::uint64_t connCounter_ = 0;   //!< guarded by connsMutex_
+
+    FairQueue<Job> queue_;
+    std::mutex dispatchMutex_;
+    std::condition_variable dispatchCv_;
+    std::atomic<std::size_t> inflight_{0};
+    std::atomic<std::uint64_t> seq_{0};
+    std::atomic<std::uint64_t> served_{0};
+};
+
+} // namespace serve
+} // namespace trb
+
+#endif // TRB_SERVE_SERVER_HH

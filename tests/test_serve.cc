@@ -1,0 +1,816 @@
+/**
+ * @file
+ * Tests for trb::serve: frame round-trips, typed rejection of malformed
+ * requests, FairQueue rotation and bounds, end-to-end fairness between
+ * greedy clients, backpressure at the queue bound, graceful-shutdown
+ * drain, and the headline soak -- hundreds of concurrent mixed
+ * cold/warm requests whose replies are bit-identical to direct
+ * simulate() calls, at pool widths 1 and 8.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <iterator>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "obs/metrics.hh"
+#include "serve/client.hh"
+#include "serve/protocol.hh"
+#include "serve/queue.hh"
+#include "serve/server.hh"
+#include "sim/simulator.hh"
+#include "store/store.hh"
+#include "synth/generator.hh"
+#include "synth/params.hh"
+
+namespace fs = std::filesystem;
+
+namespace trb
+{
+namespace
+{
+
+using serve::FairQueue;
+using serve::Op;
+using serve::ServeClient;
+using serve::ServeConfig;
+using serve::ServeDaemon;
+using serve::ServeReply;
+using serve::ServeRequest;
+
+std::uint64_t
+counter(const char *path)
+{
+    return obs::MetricsRegistry::global().counterValue(path);
+}
+
+/** A socket path short enough for sun_path, unique per test. */
+std::string
+testSocketPath()
+{
+    return "/tmp/trb_serve_" + std::to_string(::getpid()) + "_" +
+           ::testing::UnitTest::GetInstance()
+               ->current_test_info()
+               ->name() +
+           ".sock";
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+class FramingTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_));
+    }
+
+    void
+    TearDown() override
+    {
+        if (fds_[0] >= 0)
+            ::close(fds_[0]);
+        if (fds_[1] >= 0)
+            ::close(fds_[1]);
+    }
+
+    int fds_[2] = {-1, -1};
+};
+
+TEST_F(FramingTest, RoundTripsPayloads)
+{
+    for (const std::string payload :
+         {std::string(""), std::string("{}"),
+          std::string("{\"op\": \"ping\"}"), std::string(4096, 'x')}) {
+        ASSERT_TRUE(serve::writeFrame(fds_[0], payload).ok());
+        std::string got;
+        ASSERT_TRUE(serve::readFrame(fds_[1], got).ok());
+        EXPECT_EQ(payload, got);
+    }
+}
+
+TEST_F(FramingTest, BackToBackFramesStayAligned)
+{
+    ASSERT_TRUE(serve::writeFrame(fds_[0], "first").ok());
+    ASSERT_TRUE(serve::writeFrame(fds_[0], "second").ok());
+    std::string a, b;
+    ASSERT_TRUE(serve::readFrame(fds_[1], a).ok());
+    ASSERT_TRUE(serve::readFrame(fds_[1], b).ok());
+    EXPECT_EQ("first", a);
+    EXPECT_EQ("second", b);
+}
+
+TEST_F(FramingTest, RejectsOversizedWrites)
+{
+    std::string huge(serve::kMaxFrameBytes + 1, 'x');
+    Status st = serve::writeFrame(fds_[0], huge);
+    EXPECT_EQ(ErrorClass::Internal, st.errorClass());
+}
+
+TEST_F(FramingTest, RejectsGarbagePrefix)
+{
+    ASSERT_EQ(3, ::write(fds_[0], "xx\n", 3));
+    std::string got;
+    Status st = serve::readFrame(fds_[1], got);
+    EXPECT_EQ(ErrorClass::CorruptRecord, st.errorClass());
+    EXPECT_EQ("serve.frame", st.ruleViolated());
+}
+
+TEST_F(FramingTest, RejectsOversizedAnnouncedLength)
+{
+    ASSERT_LT(0, ::write(fds_[0], "99999999\n", 9));
+    std::string got;
+    Status st = serve::readFrame(fds_[1], got);
+    EXPECT_EQ(ErrorClass::CorruptRecord, st.errorClass());
+    EXPECT_EQ("serve.frame-size", st.ruleViolated());
+}
+
+TEST_F(FramingTest, DistinguishesCleanCloseFromTruncation)
+{
+    ::close(fds_[0]);
+    fds_[0] = -1;
+    std::string got;
+    Status st = serve::readFrame(fds_[1], got);
+    EXPECT_TRUE(serve::isCleanClose(st));
+
+    // A half-written frame is *not* a clean close.
+    ASSERT_EQ(0, ::socketpair(AF_UNIX, SOCK_STREAM, 0, fds_));
+    ASSERT_EQ(5, ::write(fds_[0], "10\nab", 5));
+    ::close(fds_[0]);
+    fds_[0] = -1;
+    st = serve::readFrame(fds_[1], got);
+    EXPECT_EQ(ErrorClass::TruncatedInput, st.errorClass());
+    EXPECT_FALSE(serve::isCleanClose(st));
+}
+
+// ---------------------------------------------------------------------
+// Request/reply documents
+// ---------------------------------------------------------------------
+
+TEST(ServeProtocol, RequestRoundTripsThroughJson)
+{
+    ServeRequest req;
+    req.op = Op::Sim;
+    req.id = "soak-3-17";
+    req.trace = "suite:cvp1:server_017";
+    req.length = 20000;
+    req.imps = kAllImps;
+    req.ipc1 = true;
+    req.warmupFraction = 0.5;
+    req.useStore = false;
+
+    ServeRequest back;
+    ASSERT_TRUE(serve::parseRequest(serve::requestJson(req), back).ok());
+    EXPECT_EQ(Op::Sim, back.op);
+    EXPECT_EQ(req.id, back.id);
+    EXPECT_EQ(req.trace, back.trace);
+    EXPECT_EQ(req.length, back.length);
+    EXPECT_EQ(req.imps, back.imps);
+    EXPECT_EQ(req.ipc1, back.ipc1);
+    EXPECT_EQ(req.warmupFraction, back.warmupFraction);
+    EXPECT_EQ(req.useStore, back.useStore);
+}
+
+TEST(ServeProtocol, DefaultsApplyToMinimalSimRequest)
+{
+    ServeRequest req;
+    ASSERT_TRUE(
+        serve::parseRequest(
+            "{\"op\": \"sim\", \"trace\": \"preset:int:1\"}", req)
+            .ok());
+    EXPECT_EQ(std::uint64_t{50000}, req.length);
+    EXPECT_EQ(ImprovementSet{kImpNone}, req.imps);
+    EXPECT_FALSE(req.ipc1);
+    EXPECT_EQ(0.0, req.warmupFraction);
+    EXPECT_TRUE(req.useStore);
+}
+
+TEST(ServeProtocol, RejectsMalformedRequestsWithTypedErrors)
+{
+    const struct
+    {
+        const char *json;
+        const char *rule;
+    } cases[] = {
+        {"not json at all", "serve.json"},
+        {"{\"op\": \"fly\"}", "serve.op"},
+        {"{}", "serve.op"},
+        {"{\"op\": \"sim\"}", "serve.trace"},
+        {"{\"op\": \"sim\", \"trace\": \"preset:int:1\", "
+         "\"length\": 10}",
+         "serve.length"},
+        {"{\"op\": \"sim\", \"trace\": \"preset:int:1\", "
+         "\"imps\": \"Every_imp\"}",
+         "serve.imps"},
+        {"{\"op\": \"sim\", \"trace\": \"preset:int:1\", "
+         "\"config\": \"ancient\"}",
+         "serve.config"},
+        {"{\"op\": \"sim\", \"trace\": \"preset:int:1\", "
+         "\"warmup_fraction\": 1.5}",
+         "serve.warmup"},
+    };
+    for (const auto &c : cases) {
+        ServeRequest req;
+        Status st = serve::parseRequest(c.json, req);
+        EXPECT_EQ(ErrorClass::BadRequest, st.errorClass()) << c.json;
+        EXPECT_EQ(c.rule, st.ruleViolated()) << c.json;
+    }
+}
+
+TEST(ServeProtocol, ResolveTraceRejectsUnknownSpecs)
+{
+    const char *bad[] = {
+        "nocolon",
+        "suite:cvp1:not_a_trace",
+        "suite:ipc2:client_001",
+        "preset:quantum:1",
+        "preset:int:notanumber",
+    };
+    for (const char *spec : bad) {
+        ServeRequest req;
+        req.trace = spec;
+        req.length = 1000;
+        Expected<CvpTrace> trace = serve::resolveTrace(req);
+        ASSERT_FALSE(trace.ok()) << spec;
+        EXPECT_EQ(ErrorClass::BadRequest, trace.status().errorClass())
+            << spec;
+    }
+}
+
+TEST(ServeProtocol, SimReplyCarriesExactStatBits)
+{
+    CvpTrace cvp = TraceGenerator(computeIntParams(11)).generate(2000);
+    SimResult direct = simulate(cvp, SimRequest{.useStore = false});
+
+    ServeReply reply;
+    ASSERT_TRUE(
+        serve::parseReply(serve::simReplyJson("tag", direct, 42), reply)
+            .ok());
+    EXPECT_TRUE(reply.ok);
+    EXPECT_EQ("sim", reply.op);
+    EXPECT_EQ("tag", reply.id);
+    EXPECT_EQ(std::uint64_t{42}, reply.seq);
+    EXPECT_EQ(direct.stats.toBits(), reply.stats.toBits());
+}
+
+TEST(ServeProtocol, ErrorReplyRoundTripsTheTaxonomy)
+{
+    std::string json = serve::errorReplyJson(
+        "sim", "id9",
+        Status::busy("queue full").rule("serve.queue-bound"));
+    ServeReply reply;
+    ASSERT_TRUE(serve::parseReply(json, reply).ok());
+    EXPECT_FALSE(reply.ok);
+    EXPECT_EQ("sim", reply.op);
+    EXPECT_EQ("id9", reply.id);
+    EXPECT_EQ(ErrorClass::Busy, reply.error.errorClass());
+    EXPECT_EQ("serve.queue-bound", reply.error.ruleViolated());
+    EXPECT_TRUE(reply.error.retryable());
+}
+
+// ---------------------------------------------------------------------
+// FairQueue
+// ---------------------------------------------------------------------
+
+TEST(FairQueueTest, RotatesBetweenClients)
+{
+    FairQueue<int> q(16, 1);
+    // Greedy client a queues 3 before b queues 2.
+    ASSERT_TRUE(q.push("a", 1));
+    ASSERT_TRUE(q.push("a", 2));
+    ASSERT_TRUE(q.push("a", 3));
+    ASSERT_TRUE(q.push("b", 10));
+    ASSERT_TRUE(q.push("b", 20));
+
+    std::vector<int> order;
+    int item = 0;
+    while (q.pop(item))
+        order.push_back(item);
+    EXPECT_EQ((std::vector<int>{1, 10, 2, 20, 3}), order);
+    EXPECT_EQ(0u, q.depth());
+    EXPECT_EQ(0u, q.lanes());
+}
+
+TEST(FairQueueTest, QuantumTakesRunsBeforeRotating)
+{
+    FairQueue<int> q(16, 2);
+    for (int i = 1; i <= 4; ++i)
+        ASSERT_TRUE(q.push("a", i));
+    ASSERT_TRUE(q.push("b", 10));
+    ASSERT_TRUE(q.push("b", 20));
+
+    std::vector<int> order;
+    int item = 0;
+    while (q.pop(item))
+        order.push_back(item);
+    EXPECT_EQ((std::vector<int>{1, 2, 10, 20, 3, 4}), order);
+}
+
+TEST(FairQueueTest, BoundRejectsAndDrainRestores)
+{
+    FairQueue<int> q(2, 1);
+    EXPECT_TRUE(q.push("a", 1));
+    EXPECT_TRUE(q.push("b", 2));
+    EXPECT_FALSE(q.push("a", 3));
+    EXPECT_FALSE(q.push("c", 4));
+    EXPECT_EQ(2u, q.depth());
+
+    int item = 0;
+    EXPECT_TRUE(q.pop(item));
+    EXPECT_TRUE(q.push("c", 4));
+    EXPECT_TRUE(q.pop(item));
+    EXPECT_TRUE(q.pop(item));
+    EXPECT_FALSE(q.pop(item));
+}
+
+TEST(FairQueueTest, LateClientWaitsAtMostOneRotation)
+{
+    FairQueue<int> q(16, 1);
+    ASSERT_TRUE(q.push("a", 1));
+    ASSERT_TRUE(q.push("a", 2));
+    int item = 0;
+    ASSERT_TRUE(q.pop(item));
+    EXPECT_EQ(1, item);
+    ASSERT_TRUE(q.push("b", 10));
+    ASSERT_TRUE(q.pop(item));
+    EXPECT_EQ(2, item);
+    ASSERT_TRUE(q.pop(item));
+    EXPECT_EQ(10, item);
+}
+
+// ---------------------------------------------------------------------
+// End-to-end daemon
+// ---------------------------------------------------------------------
+
+/** Daemon + socket + per-test store directory scaffolding. */
+class ServeDaemonTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        storeDir_ = std::string(TRB_BUILD_DIR) + "/store_test/serve_" +
+                    ::testing::UnitTest::GetInstance()
+                        ->current_test_info()
+                        ->name();
+        fs::remove_all(storeDir_);
+        socketPath_ = testSocketPath();
+    }
+
+    void
+    TearDown() override
+    {
+        store::Store::setDirForTesting("");
+        fs::remove_all(storeDir_);
+        ::unlink(socketPath_.c_str());
+    }
+
+    ServeConfig
+    config()
+    {
+        ServeConfig cfg;
+        cfg.socketPath = socketPath_;
+        return cfg;
+    }
+
+    std::string storeDir_;
+    std::string socketPath_;
+};
+
+TEST_F(ServeDaemonTest, PingAndStatsAnswerInline)
+{
+    par::ThreadPool pool(2);
+    ServeDaemon daemon(config(), &pool);
+    ASSERT_TRUE(daemon.start().ok());
+
+    ServeClient client;
+    ASSERT_TRUE(client.connect(socketPath_).ok());
+    ServeReply reply;
+    ASSERT_TRUE(client.ping(reply).ok());
+    EXPECT_TRUE(reply.ok);
+    EXPECT_EQ("trb-serve-v1", reply.raw.str("schema"));
+
+    ASSERT_TRUE(client.stats(reply).ok());
+    EXPECT_TRUE(reply.ok);
+    EXPECT_EQ(2.0, reply.raw.number("jobs"));
+    EXPECT_EQ(64.0, reply.raw.number("queue_bound"));
+    daemon.stop();
+    EXPECT_FALSE(fs::exists(socketPath_));
+}
+
+/** Connect a raw fd to @p path (bypasses ServeClient's encoder). */
+int
+rawConnect(const std::string &path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                  path.c_str());
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return -1;
+    if (::connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+TEST_F(ServeDaemonTest, MalformedRequestGetsTypedReplyAndKeepsConn)
+{
+    par::ThreadPool pool(2);
+    ServeDaemon daemon(config(), &pool);
+    ASSERT_TRUE(daemon.start().ok());
+
+    const std::uint64_t before = counter("serve.rejected.malformed");
+
+    int fd = rawConnect(socketPath_);
+    ASSERT_GE(fd, 0);
+
+    // Garbage documents in valid frames: each gets a typed bad_request
+    // reply and the connection stays open for the next one.
+    const char *garbage[] = {
+        "this is not json",
+        "{\"op\": \"warp\"}",
+        "{\"op\": \"sim\"}",
+    };
+    for (const char *doc : garbage) {
+        ASSERT_TRUE(serve::writeFrame(fd, doc).ok());
+        std::string payload;
+        ASSERT_TRUE(serve::readFrame(fd, payload).ok());
+        ServeReply reply;
+        ASSERT_TRUE(serve::parseReply(payload, reply).ok()) << payload;
+        EXPECT_FALSE(reply.ok);
+        EXPECT_EQ(ErrorClass::BadRequest, reply.error.errorClass())
+            << doc;
+    }
+    EXPECT_EQ(before + 3, counter("serve.rejected.malformed"));
+
+    // The same connection still serves well-formed requests.
+    ASSERT_TRUE(serve::writeFrame(fd, "{\"op\": \"ping\"}").ok());
+    std::string payload;
+    ASSERT_TRUE(serve::readFrame(fd, payload).ok());
+    ServeReply reply;
+    ASSERT_TRUE(serve::parseReply(payload, reply).ok());
+    EXPECT_TRUE(reply.ok);
+
+    // A framing violation, by contrast, hangs the connection up.
+    ASSERT_EQ(3, ::write(fd, "zz\n", 3));
+    Status st;
+    for (;;) {
+        st = serve::readFrame(fd, payload);
+        if (!st.ok())
+            break;   // the daemon's parting error reply, then close
+    }
+    ::close(fd);
+    daemon.stop();
+}
+
+TEST_F(ServeDaemonTest, SimMatchesDirectSimulateColdAndWarm)
+{
+    store::Store::setDirForTesting(storeDir_);
+    par::ThreadPool pool(2);
+    ServeDaemon daemon(config(), &pool);
+    ASSERT_TRUE(daemon.start().ok());
+
+    ServeRequest req;
+    req.op = Op::Sim;
+    req.trace = "preset:int:5";
+    req.length = 2000;
+    req.imps = kAllImps;
+    req.id = "cold";
+
+    ServeClient client;
+    ASSERT_TRUE(client.connect(socketPath_).ok());
+    ServeReply cold;
+    ASSERT_TRUE(client.call(req, cold).ok());
+    ASSERT_TRUE(cold.ok) << cold.error.toString();
+    EXPECT_FALSE(cold.statsFromStore);
+
+    req.id = "warm";
+    ServeReply warm;
+    ASSERT_TRUE(client.call(req, warm).ok());
+    ASSERT_TRUE(warm.ok) << warm.error.toString();
+    EXPECT_TRUE(warm.statsFromStore);
+
+    CvpTrace cvp = TraceGenerator(computeIntParams(5)).generate(2000);
+    SimResult direct = simulate(
+        cvp, SimRequest{.imps = kAllImps, .useStore = false});
+    EXPECT_EQ(direct.stats.toBits(), cold.stats.toBits());
+    EXPECT_EQ(direct.stats.toBits(), warm.stats.toBits());
+    daemon.stop();
+}
+
+TEST_F(ServeDaemonTest, BackpressureRepliesBusyAtQueueBound)
+{
+    ServeConfig cfg = config();
+    cfg.queueBound = 1;
+    cfg.maxInflight = 1;
+    par::ThreadPool pool(2);
+    ServeDaemon daemon(cfg, &pool);
+    ASSERT_TRUE(daemon.start().ok());
+
+    const std::uint64_t busyBefore = counter("serve.rejected.busy");
+
+    // Pipeline more sims than bound + inflight can hold; the excess
+    // must come back as typed busy replies, nothing lost.
+    const int kSent = 8;
+    ServeClient client;
+    ASSERT_TRUE(client.connect(socketPath_).ok());
+    for (int i = 0; i < kSent; ++i) {
+        ServeRequest req;
+        req.op = Op::Sim;
+        req.trace = "preset:int:9";
+        req.length = 20000;   // slow enough to keep the queue full
+        req.useStore = false;
+        req.id = "req-" + std::to_string(i);
+        ASSERT_TRUE(client.send(req).ok());
+    }
+
+    int okCount = 0, busyCount = 0;
+    std::set<std::string> ids;
+    for (int i = 0; i < kSent; ++i) {
+        ServeReply reply;
+        ASSERT_TRUE(client.recv(reply).ok());
+        EXPECT_TRUE(ids.insert(reply.id).second)
+            << "duplicate reply for " << reply.id;
+        if (reply.ok) {
+            ++okCount;
+        } else {
+            ASSERT_EQ(ErrorClass::Busy, reply.error.errorClass())
+                << reply.error.toString();
+            EXPECT_EQ("serve.queue-bound", reply.error.ruleViolated());
+            ++busyCount;
+        }
+    }
+    EXPECT_EQ(kSent, okCount + busyCount);
+    EXPECT_EQ(static_cast<std::size_t>(kSent), ids.size());
+    EXPECT_GE(busyCount, 1);
+    EXPECT_GE(okCount, 1);
+    EXPECT_GE(counter("serve.rejected.busy"), busyBefore + 1);
+    daemon.stop();
+}
+
+TEST_F(ServeDaemonTest, FairnessTwoGreedyClientsBothProgress)
+{
+    ServeConfig cfg = config();
+    cfg.maxInflight = 1;   // serialize dispatch so rotation is visible
+    par::ThreadPool pool(2);
+    ServeDaemon daemon(cfg, &pool);
+    ASSERT_TRUE(daemon.start().ok());
+
+    const int kEach = 6;
+    auto drive = [&](std::vector<std::uint64_t> &seqs) {
+        ServeClient client;
+        ASSERT_TRUE(client.connect(socketPath_).ok());
+        for (int i = 0; i < kEach; ++i) {
+            ServeRequest req;
+            req.op = Op::Sim;
+            req.trace = "preset:int:3";
+            req.length = 20000;
+            req.useStore = false;
+            req.id = std::to_string(i);
+            ASSERT_TRUE(client.send(req).ok());
+        }
+        for (int i = 0; i < kEach; ++i) {
+            ServeReply reply;
+            ASSERT_TRUE(client.recv(reply).ok());
+            ASSERT_TRUE(reply.ok) << reply.error.toString();
+            seqs.push_back(reply.seq);
+        }
+    };
+
+    std::vector<std::uint64_t> seqA, seqB;
+    std::thread ta([&] { drive(seqA); });
+    std::thread tb([&] { drive(seqB); });
+    ta.join();
+    tb.join();
+
+    ASSERT_EQ(static_cast<std::size_t>(kEach), seqA.size());
+    ASSERT_EQ(static_cast<std::size_t>(kEach), seqB.size());
+
+    // Round-robin dispatch means neither client's backlog finishes
+    // before the other's begins: the dispatch sequences interleave.
+    const std::uint64_t aMax =
+        *std::max_element(seqA.begin(), seqA.end());
+    const std::uint64_t bMax =
+        *std::max_element(seqB.begin(), seqB.end());
+    const std::uint64_t aMin =
+        *std::min_element(seqA.begin(), seqA.end());
+    const std::uint64_t bMin =
+        *std::min_element(seqB.begin(), seqB.end());
+    EXPECT_LT(aMin, bMax);
+    EXPECT_LT(bMin, aMax);
+    daemon.stop();
+}
+
+TEST_F(ServeDaemonTest, StopDrainsQueuedRequestsWithTypedBusy)
+{
+    ServeConfig cfg = config();
+    cfg.maxInflight = 1;
+    cfg.queueBound = 64;
+    par::ThreadPool pool(2);
+    ServeDaemon daemon(cfg, &pool);
+    ASSERT_TRUE(daemon.start().ok());
+
+    ServeClient client;
+    ASSERT_TRUE(client.connect(socketPath_).ok());
+    for (int i = 0; i < 4; ++i) {
+        ServeRequest req;
+        req.op = Op::Sim;
+        req.trace = "preset:int:2";
+        req.length = 20000;
+        req.useStore = false;
+        req.id = std::to_string(i);
+        ASSERT_TRUE(client.send(req).ok());
+    }
+
+    // A trailing ping pins down the race with stop(): the reader
+    // answers it inline only after it has queued all four sims, so
+    // once the pong arrives the backlog is really in the daemon.
+    ServeRequest ping;
+    ping.op = Op::Ping;
+    ASSERT_TRUE(client.send(ping).ok());
+
+    int answered = 0;
+    for (bool pong = false; !pong;) {
+        ServeReply reply;
+        ASSERT_TRUE(client.recv(reply).ok());
+        if (reply.op == "ping")
+            pong = true;
+        else
+            ++answered;
+    }
+    daemon.stop();
+
+    // Every queued request is answered before the daemon hangs up:
+    // by a result or by a typed shutdown busy.
+    for (; answered < 4; ++answered) {
+        ServeReply reply;
+        ASSERT_TRUE(client.recv(reply).ok());
+        EXPECT_EQ("sim", reply.op);
+        if (!reply.ok)
+            EXPECT_EQ(ErrorClass::Busy, reply.error.errorClass());
+    }
+    EXPECT_EQ(4, answered);
+}
+
+// ---------------------------------------------------------------------
+// Soak
+// ---------------------------------------------------------------------
+
+/** One spec of the soak mix, with its precomputed direct-sim bits. */
+struct SoakSpec
+{
+    std::string trace;
+    std::uint64_t length = 2000;
+    ImprovementSet imps = kImpNone;
+    std::vector<std::uint64_t> bits;
+};
+
+/**
+ * Build the soak mix: distinct (preset, imps) combos, half primed into
+ * the store (warm), half cold.  Expected bits come from direct
+ * simulate() calls -- the daemon must match them exactly.
+ */
+std::vector<SoakSpec>
+makeSoakSpecs()
+{
+    std::vector<SoakSpec> specs;
+    const char *presets[] = {"int", "fp", "crypto", "server",
+                             "membound"};
+    const ImprovementSet impSets[] = {kImpNone, kAllImps};
+    for (std::size_t p = 0; p < std::size(presets); ++p)
+        for (ImprovementSet imps : impSets) {
+            SoakSpec spec;
+            spec.trace = std::string("preset:") + presets[p] + ":" +
+                         std::to_string(p + 1);
+            spec.imps = imps;
+            specs.push_back(std::move(spec));
+        }
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        SoakSpec &spec = specs[i];
+        ServeRequest req;
+        req.trace = spec.trace;
+        req.length = spec.length;
+        Expected<CvpTrace> cvp = serve::resolveTrace(req);
+        EXPECT_TRUE(cvp.ok()) << spec.trace;
+        // Even specs prime the store (warm for the daemon); odd ones
+        // compute store-free (cold for the daemon).
+        SimResult direct = simulate(
+            cvp.value(),
+            SimRequest{.imps = spec.imps, .useStore = i % 2 == 0});
+        spec.bits = direct.stats.toBits();
+    }
+    return specs;
+}
+
+/**
+ * The soak body: @p threads concurrent clients, each running
+ * @p perThread requests round-robin over the spec mix with
+ * busy-retries, against a daemon on @p pool.  Asserts zero lost or
+ * duplicated replies, every reply bit-identical to direct simulate(),
+ * unique dispatch sequence numbers, and (when @p wantBusy) that the
+ * bounded queue pushed back at least once.
+ */
+void
+runSoak(ServeConfig cfg, par::ThreadPool &pool, int threads,
+        int perThread, bool wantBusy, const std::string &storeDir)
+{
+    store::Store::setDirForTesting(storeDir);
+    std::vector<SoakSpec> specs = makeSoakSpecs();
+
+    ServeDaemon daemon(cfg, &pool);
+    ASSERT_TRUE(daemon.start().ok());
+    const std::uint64_t busyBefore = counter("serve.rejected.busy");
+    const std::uint64_t servedBefore = counter("serve.served");
+
+    std::atomic<int> failures{0};
+    std::atomic<std::uint64_t> mismatches{0};
+    std::mutex seqMutex;
+    std::set<std::uint64_t> seqs;
+
+    auto worker = [&](int tid) {
+        ServeClient client;
+        if (!client.connect(cfg.socketPath).ok()) {
+            failures.fetch_add(perThread);
+            return;
+        }
+        for (int i = 0; i < perThread; ++i) {
+            const SoakSpec &spec =
+                specs[(tid + i) % specs.size()];
+            ServeRequest req;
+            req.op = Op::Sim;
+            req.trace = spec.trace;
+            req.length = spec.length;
+            req.imps = spec.imps;
+            req.id = std::to_string(tid) + "-" + std::to_string(i);
+            ServeReply reply;
+            Status st = client.callRetryBusy(req, reply, 200);
+            if (!st.ok() || !reply.ok || reply.id != req.id) {
+                failures.fetch_add(1);
+                continue;
+            }
+            if (reply.stats.toBits() != spec.bits)
+                mismatches.fetch_add(1);
+            std::lock_guard<std::mutex> lock(seqMutex);
+            if (!seqs.insert(reply.seq).second)
+                failures.fetch_add(1);
+        }
+    };
+
+    std::vector<std::thread> clients;
+    clients.reserve(threads);
+    for (int t = 0; t < threads; ++t)
+        clients.emplace_back(worker, t);
+    for (std::thread &t : clients)
+        t.join();
+
+    const int total = threads * perThread;
+    EXPECT_EQ(0, failures.load());
+    EXPECT_EQ(0u, mismatches.load());
+    EXPECT_EQ(static_cast<std::size_t>(total), seqs.size());
+    EXPECT_EQ(servedBefore + static_cast<std::uint64_t>(total),
+              counter("serve.served"));
+    if (wantBusy)
+        EXPECT_GT(counter("serve.rejected.busy"), busyBefore);
+    daemon.stop();
+}
+
+TEST_F(ServeDaemonTest, SoakConcurrentMixedColdWarmJobs8)
+{
+    ServeConfig cfg = config();
+    cfg.queueBound = 2;    // small bound: backpressure must engage
+    cfg.maxInflight = 2;
+    par::ThreadPool pool(8);
+    runSoak(cfg, pool, /*threads=*/16, /*perThread=*/15,
+            /*wantBusy=*/true, storeDir_);
+}
+
+TEST_F(ServeDaemonTest, SoakSerialPoolMatchesJobs1)
+{
+    ServeConfig cfg = config();
+    cfg.queueBound = 32;
+    par::ThreadPool pool(1);
+    runSoak(cfg, pool, /*threads=*/4, /*perThread=*/8,
+            /*wantBusy=*/false, storeDir_);
+}
+
+} // namespace
+} // namespace trb
