@@ -1,0 +1,247 @@
+#include "flow/analyze.hh"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "flow/rules.hh"
+#include "obs/metrics.hh"
+#include "obs/profile.hh"
+#include "store/store.hh"
+
+namespace trb
+{
+namespace flow
+{
+
+namespace
+{
+
+/**
+ * Collects the whole-program findings: full per-rule totals, stored
+ * diagnostics capped per rule, for merging into the streaming
+ * LintReport (same convention as the Linter's internal sink).
+ */
+class CfgSink : public lint::DiagnosticSink
+{
+  public:
+    explicit CfgSink(std::uint64_t cap) : cap_(cap) {}
+
+    void
+    report(const lint::RuleInfo &rule, std::uint64_t index, Addr pc,
+           std::string message, std::string fix_hint) override
+    {
+        Tally &tally = tallies_[rule.id];
+        tally.severity = rule.severity;
+        ++tally.count;
+        if (tally.stored >= cap_)
+            return;
+        ++tally.stored;
+        lint::Diagnostic d;
+        d.rule = rule.id;
+        d.severity = rule.severity;
+        d.index = index;
+        d.pc = pc;
+        d.message = std::move(message);
+        d.fixHint = std::move(fix_hint);
+        diagnostics_.push_back(std::move(d));
+    }
+
+    /** Fold everything into @p report, keeping counts in catalog order. */
+    void
+    mergeInto(lint::LintReport &report) const
+    {
+        for (const lint::Diagnostic &d : diagnostics_)
+            report.diagnostics.push_back(d);
+        for (const lint::RuleInfo &info : lint::ruleCatalog()) {
+            auto it = tallies_.find(info.id);
+            if (it == tallies_.end())
+                continue;
+            report.counts.push_back(
+                {it->first, it->second.severity, it->second.count});
+            switch (it->second.severity) {
+              case lint::Severity::Error:
+                report.errors += it->second.count;
+                break;
+              case lint::Severity::Warn:
+                report.warnings += it->second.count;
+                break;
+              case lint::Severity::Info:
+                report.infos += it->second.count;
+                break;
+            }
+            obs::MetricsRegistry::global().addCounter(
+                "flow." + it->first + ".violations", it->second.count);
+        }
+    }
+
+  private:
+    struct Tally
+    {
+        lint::Severity severity = lint::Severity::Error;
+        std::uint64_t count = 0;
+        std::uint64_t stored = 0;
+    };
+
+    std::uint64_t cap_;
+    std::map<std::string, Tally> tallies_;
+    std::vector<lint::Diagnostic> diagnostics_;
+};
+
+/** Whole-program rule ids selected by the run's enable/disable lists. */
+std::vector<std::string>
+resolveCfgRules(const lint::LintOptions &opts)
+{
+    std::vector<std::string> ids;
+    for (const std::string &id : wholeProgramRuleIds()) {
+        if (!opts.enable.empty() &&
+            std::find(opts.enable.begin(), opts.enable.end(), id) ==
+                opts.enable.end())
+            continue;
+        if (std::find(opts.disable.begin(), opts.disable.end(), id) !=
+            opts.disable.end())
+            continue;
+        ids.push_back(id);
+    }
+    return ids;
+}
+
+/** Regions via the store when enabled, rebuilding on any miss. */
+void
+resolveRegions(FlowResult &result, const ChampSimTrace &trace,
+               const std::string &digest_hex, const FlowOptions &opts)
+{
+    if (opts.regionUops == 0)
+        return;
+    obs::ScopeTimer timer("analyze.regions");
+    store::Store *cache =
+        opts.useStore ? store::Store::global() : nullptr;
+    if (cache != nullptr) {
+        std::vector<std::uint64_t> bbv_bits;
+        std::vector<std::uint64_t> mav_bits;
+        if (cache->loadBits(store::kRegionBbvArtifact,
+                            bbvKey(digest_hex, opts.regionUops),
+                            bbv_bits) &&
+            cache->loadBits(store::kRegionMavArtifact,
+                            mavKey(digest_hex, opts.regionUops),
+                            mav_bits) &&
+            result.regions.fromBits(bbv_bits, mav_bits)) {
+            result.regionsFromStore = true;
+            return;
+        }
+    }
+    result.regions =
+        buildRegions(trace, result.cfg, opts.regionUops);
+    if (cache != nullptr) {
+        cache->putBits(store::kRegionBbvArtifact,
+                       bbvKey(digest_hex, opts.regionUops),
+                       result.regions.bbvBits());
+        cache->putBits(store::kRegionMavArtifact,
+                       mavKey(digest_hex, opts.regionUops),
+                       result.regions.mavBits());
+    }
+}
+
+/** The shared tail: CFG, dataflow, whole-program rules, regions. */
+void
+analyzeTail(FlowResult &result, const ChampSimTrace &trace,
+            const std::string &digest_hex, const FlowOptions &opts)
+{
+    {
+        obs::ScopeTimer timer("analyze.cfg");
+        result.cfg =
+            buildCfg(trace, opts.lint.limits.maxContiguousStep);
+    }
+    {
+        obs::ScopeTimer timer("analyze.dataflow");
+        result.dataflow = solveDataflow(result.cfg);
+    }
+    {
+        obs::ScopeTimer timer("analyze.rules");
+        CfgSink sink(opts.lint.maxDiagnosticsPerRule);
+        runCfgRules(result.cfg, result.dataflow, opts.lint.limits,
+                    resolveCfgRules(opts.lint), sink);
+        sink.mergeInto(result.report);
+    }
+    resolveRegions(result, trace, digest_hex, opts);
+
+    obs::MetricsRegistry &metrics = obs::MetricsRegistry::global();
+    metrics.addCounter("flow.analyses");
+    metrics.addCounter("flow.blocks", result.cfg.blocks.size());
+    metrics.addCounter("flow.edges", result.cfg.edges.size());
+    metrics.addCounter("flow.teleports", result.cfg.teleports);
+    metrics.addCounter("flow.regions", result.regions.numRegions);
+    metrics.addCounter("flow.chains", result.dataflow.chains.size());
+}
+
+} // namespace
+
+FlowResult
+analyzeTrace(const ChampSimTrace &trace, const FlowOptions &opts)
+{
+    FlowResult result;
+    {
+        obs::ScopeTimer timer("analyze.lint");
+        result.report = lint::lintTrace(trace, opts.lint);
+    }
+    analyzeTail(result, trace,
+                store::digestChampSimTrace(trace).hex(), opts);
+    return result;
+}
+
+FlowResult
+analyzeConverted(const CvpTrace &cvp, const ChampSimTrace &trace,
+                 const FlowOptions &opts)
+{
+    FlowResult result;
+    {
+        obs::ScopeTimer timer("analyze.lint");
+        result.report = lint::lintConverted(cvp, trace, opts.lint);
+    }
+    analyzeTail(result, trace, store::digestCvpTrace(cvp).hex(), opts);
+    return result;
+}
+
+void
+writeAnalysisJson(std::ostream &os, const FlowResult &result,
+                  const std::string &name)
+{
+    std::ostringstream report;
+    lint::writeReportJson(report, result.report, name);
+    std::string body = report.str();
+    body.pop_back();   // re-open the report object to append our keys
+    os << body << ", \"cfg\": {\"blocks\": " << result.cfg.blocks.size()
+       << ", \"edges\": " << result.cfg.edges.size()
+       << ", \"teleports\": " << result.cfg.teleports
+       << ", \"entry_pc\": \"0x" << std::hex
+       << (result.cfg.blocks.empty()
+               ? 0
+               : result.cfg.blocks[result.cfg.entryBlock].start)
+       << std::dec << "\", \"chains\": " << result.dataflow.chains.size()
+       << ", \"chain_links\": " << result.dataflow.chainLinks
+       << "}, \"regions\": {\"count\": " << result.regions.numRegions
+       << ", \"uops\": " << result.regions.regionUops
+       << ", \"blocks\": " << result.regions.blockPcs.size()
+       << ", \"from_store\": "
+       << (result.regionsFromStore ? "true" : "false") << "}}";
+}
+
+void
+writeAnalysisText(std::ostream &os, const FlowResult &result,
+                  const std::string &name)
+{
+    lint::writeReportText(os, result.report, name);
+    os << "  cfg: " << result.cfg.blocks.size() << " block(s), "
+       << result.cfg.edges.size() << " edge(s), " << result.cfg.teleports
+       << " teleport(s), " << result.dataflow.chains.size()
+       << " def-use chain(s) / " << result.dataflow.chainLinks
+       << " link(s)\n"
+       << "  regions: " << result.regions.numRegions << " x "
+       << result.regions.regionUops << " µops over "
+       << result.regions.blockPcs.size() << " block(s)"
+       << (result.regionsFromStore ? " [store]" : "") << "\n";
+}
+
+} // namespace flow
+} // namespace trb

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * trb::flow -- the whole-program trace analyzer facade.
+ *
+ * One call runs the full static-analysis pipeline over a converted
+ * trace:
+ *
+ *   1. the streaming lint rules (the linear-scan Linter, unchanged);
+ *   2. CFG reconstruction (flow/cfg.hh);
+ *   3. the worklist dataflow solution (flow/dataflow.hh);
+ *   4. the whole-program lint rules (flow/rules.hh), merged into the
+ *      same LintReport -- one report, streaming and CFG findings side
+ *      by side, rendered by the existing writeReportText/Json;
+ *   5. the region signatures (flow/regions.hh), cached through
+ *      trb::store when enabled (keyed by trace content digest +
+ *      analyzer version + region length, so a warm store serves them
+ *      back bit-identically with store.misses == 0).
+ *
+ * Observability: phases analyze.{lint,cfg,dataflow,rules,regions} in
+ * the trb::obs profile, counters flow.{analyses,blocks,edges,
+ * teleports,regions,chains} and flow.<rule>.violations in the global
+ * registry.  Everything is deterministic per trace at any TRB_JOBS.
+ */
+
+#ifndef TRB_FLOW_ANALYZE_HH
+#define TRB_FLOW_ANALYZE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "flow/cfg.hh"
+#include "flow/dataflow.hh"
+#include "flow/regions.hh"
+#include "lint/lint.hh"
+
+namespace trb
+{
+namespace flow
+{
+
+/** Configuration of one whole-program analysis. */
+struct FlowOptions
+{
+    /** Streaming + whole-program rule selection, limits and caps. */
+    lint::LintOptions lint;
+
+    /** Region length in µops; 0 skips the region signatures. */
+    std::uint64_t regionUops = 10000;
+
+    /**
+     * Serve/publish region artifacts through Store::global() (a no-op
+     * when no TRB_STORE is configured, exactly like the simulator).
+     */
+    bool useStore = true;
+
+    /** Tag used in reports and logs. */
+    std::string name;
+};
+
+/** Everything the analyzer learned about one trace. */
+struct FlowResult
+{
+    /** Streaming findings plus the whole-program findings. */
+    lint::LintReport report;
+
+    Cfg cfg;
+    Dataflow dataflow;
+    RegionSignatures regions;
+
+    /** True when both region artifacts came out of the store. */
+    bool regionsFromStore = false;
+};
+
+/** Analyze a ChampSim trace alone (stream-only lint rules). */
+FlowResult analyzeTrace(const ChampSimTrace &trace,
+                        const FlowOptions &opts = {});
+
+/** Analyze a converted trace against its originating CVP-1 stream. */
+FlowResult analyzeConverted(const CvpTrace &cvp, const ChampSimTrace &trace,
+                            const FlowOptions &opts = {});
+
+/**
+ * Machine-readable analysis object: the writeReportJson object plus
+ * "cfg": {"blocks", "edges", "teleports", "entry_pc", "chains",
+ * "chain_links"} and "regions": {"count", "uops", "blocks",
+ * "from_store"}.
+ */
+void writeAnalysisJson(std::ostream &os, const FlowResult &result,
+                       const std::string &name);
+
+/** Human-readable analysis summary (report + CFG/region footer). */
+void writeAnalysisText(std::ostream &os, const FlowResult &result,
+                       const std::string &name);
+
+} // namespace flow
+} // namespace trb
+
+#endif // TRB_FLOW_ANALYZE_HH

@@ -1,0 +1,225 @@
+#include "flow/dataflow.hh"
+
+#include <array>
+#include <deque>
+#include <utility>
+
+namespace trb
+{
+namespace flow
+{
+
+namespace
+{
+
+/** Word count of a bitset over @p bits dynamic bits. */
+std::size_t
+wordsFor(std::size_t bits)
+{
+    return (bits + 63) / 64;
+}
+
+void
+setBit(std::vector<std::uint64_t> &words, std::size_t bit)
+{
+    words[bit / 64] |= std::uint64_t{1} << (bit % 64);
+}
+
+bool
+testBit(const std::vector<std::uint64_t> &words, std::size_t bit)
+{
+    return (words[bit / 64] >> (bit % 64)) & 1;
+}
+
+/** dst |= src; returns true when dst changed. */
+bool
+orInto(std::vector<std::uint64_t> &dst,
+       const std::vector<std::uint64_t> &src)
+{
+    bool changed = false;
+    for (std::size_t w = 0; w < dst.size(); ++w) {
+        std::uint64_t next = dst[w] | src[w];
+        if (next != dst[w]) {
+            dst[w] = next;
+            changed = true;
+        }
+    }
+    return changed;
+}
+
+} // namespace
+
+Dataflow
+solveDataflow(const Cfg &cfg)
+{
+    Dataflow df;
+    const std::size_t nblocks = cfg.blocks.size();
+    df.gen.resize(nblocks);
+    df.upExposed.resize(nblocks);
+    df.liveIn.resize(nblocks);
+    df.liveOut.resize(nblocks);
+    df.reachAnyIn.resize(nblocks);
+    if (nblocks == 0)
+        return df;
+
+    // Block-local facts from the canonical signatures: downward-exposed
+    // defs (last def PC per register) and upward-exposed uses (first
+    // read PC per register before any in-block def).
+    std::vector<std::vector<std::pair<RegId, Addr>>> blockDefs(nblocks);
+    std::vector<std::vector<std::pair<RegId, Addr>>> blockUses(nblocks);
+    for (std::size_t b = 0; b < nblocks; ++b) {
+        std::bitset<kRegSpace> written;
+        std::array<Addr, kRegSpace> lastDef = {};
+        for (Addr pc : cfg.blocks[b].memberPcs) {
+            auto it = cfg.pcSigs.find(pc);
+            if (it == cfg.pcSigs.end())
+                continue;
+            const PcSig &sig = it->second;
+            if (sig.srcs.any()) {
+                for (std::size_t r = 1; r < kRegSpace; ++r) {
+                    if (!sig.srcs.test(r) || written.test(r) ||
+                        df.upExposed[b].test(r))
+                        continue;
+                    df.upExposed[b].set(r);
+                    blockUses[b].emplace_back(static_cast<RegId>(r), pc);
+                }
+            }
+            if (sig.dsts.any()) {
+                for (std::size_t r = 1; r < kRegSpace; ++r) {
+                    if (!sig.dsts.test(r))
+                        continue;
+                    written.set(r);
+                    lastDef[r] = pc;
+                }
+            }
+        }
+        df.gen[b] = written;
+        for (std::size_t r = 1; r < kRegSpace; ++r)
+            if (written.test(r))
+                blockDefs[b].emplace_back(static_cast<RegId>(r),
+                                          lastDef[r]);
+    }
+
+    // Number the definition sites and build per-block gen/kill masks.
+    std::array<std::vector<std::uint32_t>, kRegSpace> sitesOf;
+    std::vector<std::vector<std::uint32_t>> blockSites(nblocks);
+    for (std::size_t b = 0; b < nblocks; ++b) {
+        for (auto [reg, pc] : blockDefs[b]) {
+            auto site = static_cast<std::uint32_t>(df.defSites.size());
+            df.defSites.push_back({static_cast<std::uint32_t>(b), reg, pc});
+            sitesOf[reg].push_back(site);
+            blockSites[b].push_back(site);
+        }
+    }
+    const std::size_t nsites = df.defSites.size();
+    const std::size_t words = wordsFor(nsites);
+
+    std::vector<std::vector<std::uint64_t>> genMask(
+        nblocks, std::vector<std::uint64_t>(words, 0));
+    std::vector<std::vector<std::uint64_t>> keepMask(
+        nblocks, std::vector<std::uint64_t>(words, ~std::uint64_t{0}));
+    for (std::size_t b = 0; b < nblocks; ++b) {
+        for (std::uint32_t site : blockSites[b])
+            setBit(genMask[b], site);
+        // Kill every other site of each register this block defines.
+        for (auto [reg, pc] : blockDefs[b]) {
+            (void)pc;
+            for (std::uint32_t site : sitesOf[reg])
+                keepMask[b][site / 64] &=
+                    ~(std::uint64_t{1} << (site % 64));
+        }
+        for (std::uint32_t site : blockSites[b])
+            setBit(keepMask[b], site);   // own defs survive (they are gen)
+    }
+
+    // Forward worklist: REACH_out = (REACH_in & keep) | gen,
+    // REACH_in = union of predecessors' REACH_out.
+    std::vector<std::vector<std::uint64_t>> reachIn(
+        nblocks, std::vector<std::uint64_t>(words, 0));
+    std::vector<std::vector<std::uint64_t>> reachOut(
+        nblocks, std::vector<std::uint64_t>(words, 0));
+    std::deque<std::uint32_t> work;
+    std::vector<bool> queued(nblocks, false);
+    for (std::size_t b = 0; b < nblocks; ++b) {
+        work.push_back(static_cast<std::uint32_t>(b));
+        queued[b] = true;
+    }
+    while (!work.empty()) {
+        std::uint32_t b = work.front();
+        work.pop_front();
+        queued[b] = false;
+        ++df.iterations;
+        for (std::uint32_t e : cfg.preds[b])
+            orInto(reachIn[b], reachOut[cfg.edges[e].from]);
+        std::vector<std::uint64_t> out(words);
+        for (std::size_t w = 0; w < words; ++w)
+            out[w] = (reachIn[b][w] & keepMask[b][w]) | genMask[b][w];
+        if (out != reachOut[b]) {
+            reachOut[b] = std::move(out);
+            for (std::uint32_t e : cfg.succs[b]) {
+                std::uint32_t to = cfg.edges[e].to;
+                if (!queued[to]) {
+                    queued[to] = true;
+                    work.push_back(to);
+                }
+            }
+        }
+    }
+
+    // Backward worklist: liveIn = use | (liveOut - def).
+    for (std::size_t b = 0; b < nblocks; ++b) {
+        work.push_back(static_cast<std::uint32_t>(b));
+        queued[b] = true;
+    }
+    while (!work.empty()) {
+        std::uint32_t b = work.front();
+        work.pop_front();
+        queued[b] = false;
+        ++df.iterations;
+        for (std::uint32_t e : cfg.succs[b])
+            df.liveOut[b] |= df.liveIn[cfg.edges[e].to];
+        std::bitset<kRegSpace> in =
+            df.upExposed[b] | (df.liveOut[b] & ~df.gen[b]);
+        if (in != df.liveIn[b]) {
+            df.liveIn[b] = in;
+            for (std::uint32_t e : cfg.preds[b]) {
+                std::uint32_t from = cfg.edges[e].from;
+                if (!queued[from]) {
+                    queued[from] = true;
+                    work.push_back(from);
+                }
+            }
+        }
+    }
+
+    // Summaries: any-def-reaches per register, and the def-use chains.
+    for (std::size_t b = 0; b < nblocks; ++b) {
+        for (std::size_t r = 1; r < kRegSpace; ++r) {
+            if (sitesOf[r].empty())
+                continue;
+            for (std::uint32_t site : sitesOf[r]) {
+                if (testBit(reachIn[b], site)) {
+                    df.reachAnyIn[b].set(r);
+                    break;
+                }
+            }
+        }
+        for (auto [reg, pc] : blockUses[b]) {
+            if (reg == champsim::kInstructionPointer)
+                continue;
+            UseSite use;
+            use.block = static_cast<std::uint32_t>(b);
+            use.reg = reg;
+            use.pc = pc;
+            for (std::uint32_t site : sitesOf[reg])
+                if (testBit(reachIn[b], site))
+                    use.defs.push_back(site);
+            df.chainLinks += use.defs.size();
+            df.chains.push_back(std::move(use));
+        }
+    }
+    return df;
+}
+
+} // namespace flow
+} // namespace trb

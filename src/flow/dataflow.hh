@@ -1,0 +1,88 @@
+/**
+ * @file
+ * trb::flow -- the classic worklist dataflow engine over a reconstructed
+ * CFG.
+ *
+ * Two textbook problems, solved to a fixpoint with block-level transfer
+ * functions built from the canonical per-PC register signatures:
+ *
+ *  - reaching definitions at definition-site granularity (one site per
+ *    block x register, the downward-exposed def), forward may-analysis;
+ *    def-use chains fall out as "upward-exposed use  x  reaching sites
+ *    of its register";
+ *  - liveness (backward may-analysis): liveIn = use | (liveOut - def).
+ *
+ * The instruction-pointer pseudo-register is excluded from the def-use
+ * chain enumeration -- every branch writes it and every conditional
+ * reads it, so its chains are control flow, not dataflow -- but it still
+ * participates in the bit-level solutions.
+ *
+ * Everything is deterministic: blocks are processed from a worklist
+ * seeded in block-discovery order, and the fixpoint is order-independent
+ * (may-analyses over a join semilattice).
+ */
+
+#ifndef TRB_FLOW_DATAFLOW_HH
+#define TRB_FLOW_DATAFLOW_HH
+
+#include <bitset>
+#include <cstdint>
+#include <vector>
+
+#include "flow/cfg.hh"
+
+namespace trb
+{
+namespace flow
+{
+
+/** One reaching-definition site: the last def of @p reg in @p block. */
+struct DefSite
+{
+    std::uint32_t block = 0;
+    RegId reg = 0;
+    Addr pc = 0;        //!< µop PC of the defining occurrence
+};
+
+/** One upward-exposed use and the definition sites reaching it. */
+struct UseSite
+{
+    std::uint32_t block = 0;
+    RegId reg = 0;
+    Addr pc = 0;        //!< first µop in the block reading the register
+    std::vector<std::uint32_t> defs;   //!< indices into Dataflow::defSites
+};
+
+/** The dataflow solution (all vectors parallel to Cfg::blocks). */
+struct Dataflow
+{
+    /** Registers the block defines (downward-exposed). */
+    std::vector<std::bitset<kRegSpace>> gen;
+
+    /** Registers read before any in-block definition. */
+    std::vector<std::bitset<kRegSpace>> upExposed;
+
+    /** Liveness solution. */
+    std::vector<std::bitset<kRegSpace>> liveIn;
+    std::vector<std::bitset<kRegSpace>> liveOut;
+
+    /** Register r has *some* definition reaching the block entry. */
+    std::vector<std::bitset<kRegSpace>> reachAnyIn;
+
+    /** All definition sites, block-discovery order. */
+    std::vector<DefSite> defSites;
+
+    /** Def-use chains (IP excluded; see file comment). */
+    std::vector<UseSite> chains;
+
+    std::uint64_t chainLinks = 0;    //!< total def->use links
+    std::uint64_t iterations = 0;    //!< worklist pops until fixpoint
+};
+
+/** Solve both problems over @p cfg. */
+Dataflow solveDataflow(const Cfg &cfg);
+
+} // namespace flow
+} // namespace trb
+
+#endif // TRB_FLOW_DATAFLOW_HH

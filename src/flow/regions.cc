@@ -1,0 +1,213 @@
+#include "flow/regions.hh"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace trb
+{
+namespace flow
+{
+
+namespace
+{
+
+// "trbfbbv1" / "trbfmav1" as little-endian u64 literals.
+constexpr std::uint64_t kBbvMagic = 0x3176626266627274ULL;
+constexpr std::uint64_t kMavMagic = 0x3176616d66627274ULL;
+
+/** Header layout shared by both payloads (5 words). */
+constexpr std::size_t kHeaderWords = 5;
+
+constexpr Addr kPageShift = 12;
+
+} // namespace
+
+std::vector<std::uint64_t>
+RegionSignatures::bbvBits() const
+{
+    std::vector<std::uint64_t> bits;
+    bits.reserve(kHeaderWords + blockPcs.size() + bbv.size());
+    bits.push_back(kBbvMagic);
+    bits.push_back(kFlowFormatVersion);
+    bits.push_back(regionUops);
+    bits.push_back(numRegions);
+    bits.push_back(blockPcs.size());
+    bits.insert(bits.end(), blockPcs.begin(), blockPcs.end());
+    bits.insert(bits.end(), bbv.begin(), bbv.end());
+    return bits;
+}
+
+std::vector<std::uint64_t>
+RegionSignatures::mavBits() const
+{
+    std::vector<std::uint64_t> bits;
+    bits.reserve(kHeaderWords + mav.size());
+    bits.push_back(kMavMagic);
+    bits.push_back(kFlowFormatVersion);
+    bits.push_back(regionUops);
+    bits.push_back(numRegions);
+    bits.push_back(kMavFeatures);
+    bits.insert(bits.end(), mav.begin(), mav.end());
+    return bits;
+}
+
+bool
+RegionSignatures::fromBits(const std::vector<std::uint64_t> &bbv_bits,
+                           const std::vector<std::uint64_t> &mav_bits)
+{
+    if (bbv_bits.size() < kHeaderWords || mav_bits.size() < kHeaderWords)
+        return false;
+    if (bbv_bits[0] != kBbvMagic || mav_bits[0] != kMavMagic)
+        return false;
+    if (bbv_bits[1] != kFlowFormatVersion ||
+        mav_bits[1] != kFlowFormatVersion)
+        return false;
+    const std::uint64_t rlen = bbv_bits[2];
+    const std::uint64_t regions = bbv_bits[3];
+    const std::uint64_t blocks = bbv_bits[4];
+    if (mav_bits[2] != rlen || mav_bits[3] != regions ||
+        mav_bits[4] != kMavFeatures)
+        return false;
+    if (bbv_bits.size() != kHeaderWords + blocks + regions * blocks)
+        return false;
+    if (mav_bits.size() != kHeaderWords + regions * kMavFeatures)
+        return false;
+
+    regionUops = rlen;
+    numRegions = regions;
+    blockPcs.assign(bbv_bits.begin() + kHeaderWords,
+                    bbv_bits.begin() +
+                        static_cast<std::ptrdiff_t>(kHeaderWords + blocks));
+    bbv.assign(bbv_bits.begin() +
+                   static_cast<std::ptrdiff_t>(kHeaderWords + blocks),
+               bbv_bits.end());
+    mav.assign(mav_bits.begin() + kHeaderWords, mav_bits.end());
+    return true;
+}
+
+std::string
+bbvKey(const std::string &traceDigestHex, std::uint64_t regionUops)
+{
+    return "flow-bbv;v=" + std::to_string(kFlowFormatVersion) +
+           ";trace=" + traceDigestHex +
+           ";rlen=" + std::to_string(regionUops);
+}
+
+std::string
+mavKey(const std::string &traceDigestHex, std::uint64_t regionUops)
+{
+    return "flow-mav;v=" + std::to_string(kFlowFormatVersion) +
+           ";trace=" + traceDigestHex +
+           ";rlen=" + std::to_string(regionUops);
+}
+
+RegionSignatures
+buildRegions(ChampSimView trace, const Cfg &cfg, std::uint64_t regionUops)
+{
+    RegionSignatures sig;
+    sig.regionUops = regionUops;
+    if (regionUops == 0 || trace.empty() || cfg.blocks.empty())
+        return sig;
+
+    // BBV columns: block start PCs ascending, independent of discovery
+    // order, so identical traces always produce identical matrices.
+    sig.blockPcs.reserve(cfg.blocks.size());
+    for (const BasicBlock &block : cfg.blocks)
+        sig.blockPcs.push_back(block.start);
+    std::sort(sig.blockPcs.begin(), sig.blockPcs.end());
+    std::unordered_map<Addr, std::size_t> colOf;
+    colOf.reserve(sig.blockPcs.size());
+    for (std::size_t c = 0; c < sig.blockPcs.size(); ++c)
+        colOf.emplace(sig.blockPcs[c], c);
+
+    const std::size_t ncols = sig.blockPcs.size();
+    std::vector<std::uint64_t> bbvRow(ncols, 0);
+    std::vector<std::uint64_t> mavRow(kMavFeatures, 0);
+    std::unordered_set<Addr> regionLines;
+    std::unordered_set<Addr> regionPages;
+    std::unordered_set<Addr> seenLines;       // across the whole trace
+    std::unordered_map<Addr, Addr> lastEa;    // per-PC stride continuation
+
+    std::size_t curCol = 0;
+    std::uint64_t inRegion = 0;
+
+    auto flushRegion = [&]() {
+        mavRow[kMavUniqueLines] = regionLines.size();
+        mavRow[kMavUniquePages] = regionPages.size();
+        sig.bbv.insert(sig.bbv.end(), bbvRow.begin(), bbvRow.end());
+        sig.mav.insert(sig.mav.end(), mavRow.begin(), mavRow.end());
+        ++sig.numRegions;
+        std::fill(bbvRow.begin(), bbvRow.end(), 0);
+        std::fill(mavRow.begin(), mavRow.end(), 0);
+        regionLines.clear();
+        regionPages.clear();
+        inRegion = 0;
+    };
+
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const ChampSimRecord &rec = trace[i];
+        auto leader = cfg.blockAt.find(rec.ip);
+        if (leader != cfg.blockAt.end())
+            curCol = colOf.find(cfg.blocks[leader->second].start)->second;
+        ++bbvRow[curCol];
+        ++inRegion;
+
+        if (rec.isLoad())
+            ++mavRow[kMavLoads];
+        if (rec.isStore())
+            ++mavRow[kMavStores];
+
+        std::uint64_t slots = 0;
+        Addr firstEa = 0;
+        for (Addr a : rec.srcMem) {
+            if (a == 0)
+                continue;
+            if (firstEa == 0)
+                firstEa = a;
+            ++slots;
+            if (seenLines.insert(lineAddr(a)).second)
+                ++mavRow[kMavNewLines];
+            regionLines.insert(lineAddr(a));
+            regionPages.insert(a >> kPageShift);
+        }
+        for (Addr a : rec.destMem) {
+            if (a == 0)
+                continue;
+            if (firstEa == 0)
+                firstEa = a;
+            ++slots;
+            if (seenLines.insert(lineAddr(a)).second)
+                ++mavRow[kMavNewLines];
+            regionLines.insert(lineAddr(a));
+            regionPages.insert(a >> kPageShift);
+        }
+        if (slots > 1)
+            mavRow[kMavExtraAccesses] += slots - 1;
+        if (firstEa != 0) {
+            auto [it, fresh] = lastEa.try_emplace(rec.ip, firstEa);
+            if (!fresh) {
+                Addr prev = it->second;
+                std::uint64_t delta =
+                    firstEa > prev ? firstEa - prev : prev - firstEa;
+                if (delta == 0)
+                    ++mavRow[kMavStrideZero];
+                else if (delta <= kLineBytes)
+                    ++mavRow[kMavStrideUnit];
+                else if (delta <= (Addr{1} << kPageShift))
+                    ++mavRow[kMavStridePage];
+                else
+                    ++mavRow[kMavStrideFar];
+                it->second = firstEa;
+            }
+        }
+
+        if (inRegion == regionUops)
+            flushRegion();
+    }
+    if (inRegion != 0)
+        flushRegion();   // the trailing partial region
+    return sig;
+}
+
+} // namespace flow
+} // namespace trb

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * trb::flow region signatures: fixed-length execution regions projected
+ * onto two matrices, the classic SimPoint-style inputs for phase
+ * detection and sampled simulation --
+ *
+ *  - the basic-block vector (BBV): regions x blocks, each cell the
+ *    number of µops the region spent in that block (columns are block
+ *    start PCs, ascending, so the matrix is trace-content-addressed and
+ *    independent of block discovery order);
+ *  - the memory-access vector (MAV): regions x kMavFeatures dynamic
+ *    memory features (load/store mix, footprint, stride classes).
+ *
+ * Both serialize to flat u64 vectors with a magic/version header and
+ * round-trip bit-identically through the trb::store bit-pattern
+ * artifact kinds (kRegionBbvArtifact / kRegionMavArtifact), keyed by
+ * the trace's content digest, the analyzer format version and the
+ * region length.  Building is a single linear pass over the trace, so
+ * the result is deterministic for a given (trace, regionUops) pair at
+ * any TRB_JOBS.
+ */
+
+#ifndef TRB_FLOW_REGIONS_HH
+#define TRB_FLOW_REGIONS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flow/cfg.hh"
+
+namespace trb
+{
+namespace flow
+{
+
+/** Bump on any change to region semantics or serialization layout. */
+constexpr std::uint32_t kFlowFormatVersion = 1;
+
+/** MAV feature count and column meanings. */
+enum MavFeature : std::size_t
+{
+    kMavLoads = 0,          //!< µops with a memory source
+    kMavStores,             //!< µops with a memory destination
+    kMavUniqueLines,        //!< distinct cachelines touched in the region
+    kMavNewLines,           //!< lines never touched by an earlier region
+    kMavUniquePages,        //!< distinct 4 KiB pages touched
+    kMavStrideZero,         //!< same address as the PC's previous access
+    kMavStrideUnit,         //!< |delta| <= one cacheline
+    kMavStridePage,         //!< |delta| <= one page
+    kMavStrideFar,          //!< larger deltas (irregular)
+    kMavExtraAccesses,      //!< memory operands beyond the first per µop
+    kMavFeatures,           //!< column count
+};
+
+/** The two per-region matrices (rows = regions, see file comment). */
+struct RegionSignatures
+{
+    std::uint64_t regionUops = 0;   //!< region length (µops); last is partial
+    std::uint64_t numRegions = 0;
+    std::vector<Addr> blockPcs;     //!< BBV columns: block starts, ascending
+    std::vector<std::uint64_t> bbv; //!< row-major, numRegions x blockPcs
+    std::vector<std::uint64_t> mav; //!< row-major, numRegions x kMavFeatures
+
+    bool empty() const { return numRegions == 0; }
+
+    std::uint64_t bbvAt(std::uint64_t region, std::size_t col) const
+    {
+        return bbv[region * blockPcs.size() + col];
+    }
+    std::uint64_t mavAt(std::uint64_t region, std::size_t feature) const
+    {
+        return mav[region * kMavFeatures + feature];
+    }
+
+    /** Serialize to / parse from the store's u64 bit-pattern payloads. */
+    std::vector<std::uint64_t> bbvBits() const;
+    std::vector<std::uint64_t> mavBits() const;
+
+    /**
+     * Rebuild from the two payloads.  False (and *this unchanged) when
+     * either header or the cross-checked dimensions are inconsistent.
+     */
+    bool fromBits(const std::vector<std::uint64_t> &bbv_bits,
+                  const std::vector<std::uint64_t> &mav_bits);
+};
+
+/** Store keys for the two artifacts of (trace digest, region length). */
+std::string bbvKey(const std::string &traceDigestHex,
+                   std::uint64_t regionUops);
+std::string mavKey(const std::string &traceDigestHex,
+                   std::uint64_t regionUops);
+
+/**
+ * Build both matrices in one pass over @p trace.  @p cfg must be the
+ * CFG reconstructed from the same trace (its leader set attributes each
+ * µop to a block).  @p regionUops of 0 disables region building.
+ */
+RegionSignatures buildRegions(ChampSimView trace, const Cfg &cfg,
+                              std::uint64_t regionUops);
+
+} // namespace flow
+} // namespace trb
+
+#endif // TRB_FLOW_REGIONS_HH

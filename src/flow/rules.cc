@@ -1,0 +1,228 @@
+#include "flow/rules.hh"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace trb
+{
+namespace flow
+{
+
+namespace
+{
+
+std::string
+hex(Addr a)
+{
+    std::ostringstream os;
+    os << "0x" << std::hex << a;
+    return os.str();
+}
+
+bool
+wants(const std::vector<std::string> &enabled, const char *id)
+{
+    return std::find(enabled.begin(), enabled.end(), id) != enabled.end();
+}
+
+const lint::RuleInfo &
+infoOf(const char *id)
+{
+    const lint::RuleInfo *info = lint::findRule(id);
+    // The flow rules are registered unconditionally in the lint catalog;
+    // a miss here is a programming error, not a data condition.
+    return *info;
+}
+
+// ---------------------------------------------------------------------
+// cfg-stale-def: a dropped canonical destination consumed cross-block.
+
+void
+checkStaleDefs(const Cfg &cfg, lint::DiagnosticSink &sink)
+{
+    const lint::RuleInfo &info = infoOf("cfg-stale-def");
+    for (const StaleRead &ev : cfg.staleReads) {
+        // The IP pseudo-register is control flow (branch-deduce
+        // territory), not a dataflow value.
+        if (ev.reg == champsim::kInstructionPointer)
+            continue;
+        sink.report(info, ev.useIndex, ev.usePc,
+                    "reads r" + std::to_string(ev.reg) +
+                        " whose producer at " + hex(ev.defPc) +
+                        " (block " + hex(cfg.blocks[ev.defBlock].start) +
+                        ") dropped the destination at its last "
+                        "occurrence -- the value observed here is stale",
+                    "emit the full destination-register set on every "
+                    "dynamic occurrence of the producing µop");
+    }
+}
+
+// ---------------------------------------------------------------------
+// cfg-unreachable: blocks only ever entered by teleport.
+
+void
+checkUnreachable(const Cfg &cfg, lint::DiagnosticSink &sink)
+{
+    const lint::RuleInfo &info = infoOf("cfg-unreachable");
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        const BasicBlock &block = cfg.blocks[b];
+        if (b == cfg.entryBlock || block.entries == 0 ||
+            block.explainedEntries != 0)
+            continue;
+        sink.report(info, cfg.firstSeen[b], block.start,
+                    "block entered " + std::to_string(block.entries) +
+                        " time(s), never through a fall-through, taken, "
+                        "call or return edge -- it is unreachable in the "
+                        "reconstructed CFG",
+                    "the stream teleports into this block; check the "
+                    "converter's branch-target and fall-through "
+                    "emission around its predecessors");
+    }
+}
+
+// ---------------------------------------------------------------------
+// cfg-fallthrough: one fall-through exit point, one successor.
+
+void
+checkFallthrough(const Cfg &cfg, lint::DiagnosticSink &sink)
+{
+    const lint::RuleInfo &info = infoOf("cfg-fallthrough");
+    for (std::size_t b = 0; b < cfg.blocks.size(); ++b) {
+        const std::vector<FallthroughExit> &exits = cfg.fallExits[b];
+        if (exits.size() < 2)
+            continue;
+        // A base-update split parks its second µop at pc+2, so exits
+        // within one 4-byte instruction slot are the same exit point.
+        std::set<Addr> exitSlots;
+        std::set<Addr> targets;
+        for (const FallthroughExit &exit : exits) {
+            exitSlots.insert(exit.exitPc & ~Addr{3});
+            targets.insert(exit.targetPc);
+        }
+        if (exitSlots.size() < 2 && targets.size() < 2)
+            continue;
+        const FallthroughExit &first = exits.front();
+        std::ostringstream msg;
+        msg << "block " << hex(cfg.blocks[b].start)
+            << " falls through inconsistently: " << exitSlots.size()
+            << " exit point(s), " << targets.size()
+            << " successor PC(s) (first " << hex(first.exitPc) << " -> "
+            << hex(first.targetPc) << ", also ";
+        const FallthroughExit &other = exits[1];
+        msg << hex(other.exitPc) << " -> " << hex(other.targetPc) << ")";
+        sink.report(info, cfg.firstSeen[b], cfg.blocks[b].start, msg.str(),
+                    "a static block has exactly one not-taken successor; "
+                    "diverging targets mean dropped or misplaced µops");
+    }
+}
+
+// ---------------------------------------------------------------------
+// cfg-call-balance: returns to PCs that are never a call site's
+// fall-through, beyond the warm-up slack.
+
+void
+checkCallBalance(const Cfg &cfg, const lint::LintLimits &limits,
+                 lint::DiagnosticSink &sink)
+{
+    const lint::RuleInfo &info = infoOf("cfg-call-balance");
+    std::uint64_t unmatched = 0;
+    const ReturnTarget *first = nullptr;
+    std::uint64_t distinct = 0;
+    for (const ReturnTarget &rt : cfg.returnTargets) {
+        if (cfg.callSiteReturnPcs.count(rt.target) != 0)
+            continue;
+        unmatched += rt.count;
+        ++distinct;
+        if (first == nullptr || rt.firstIndex < first->firstIndex)
+            first = &rt;
+    }
+    if (unmatched <= limits.rasSlack || first == nullptr)
+        return;
+    sink.report(info, first->firstIndex, first->firstPc,
+                std::to_string(unmatched) + " return(s) to " +
+                    std::to_string(distinct) +
+                    " target(s) that are never an observed call site's "
+                    "fall-through (first returns to " +
+                    hex(first->target) + "); a trace captured "
+                    "mid-program unwinds at most " +
+                    std::to_string(limits.rasSlack) + " frame(s)",
+                "call and return edges must pair up: check the "
+                "converter's call-site PC+4 convention");
+}
+
+// ---------------------------------------------------------------------
+// cfg-flag-staleness: dropped flags definitions consumed cross-block,
+// and flags-reading blocks no definition reaches.
+
+void
+checkFlagStaleness(const Cfg &cfg, const Dataflow &df,
+                   lint::DiagnosticSink &sink)
+{
+    const lint::RuleInfo &info = infoOf("cfg-flag-staleness");
+    for (const StaleRead &ev : cfg.staleFlagReads)
+        sink.report(info, ev.useIndex, ev.usePc,
+                    "reads the flags whose producer at " + hex(ev.defPc) +
+                        " dropped its flags destination at the last "
+                        "occurrence -- the condition evaluated here is "
+                        "stale",
+                    "flag-writing µops must carry the flags destination "
+                    "on every dynamic occurrence");
+
+    for (const UseSite &use : df.chains) {
+        if (use.reg != champsim::kFlags || !use.defs.empty())
+            continue;
+        if (cfg.flagsDefs == 0) {
+            sink.report(info, cfg.firstSeen[use.block], use.pc,
+                        "reads the flags but no µop in the whole trace "
+                        "ever writes them",
+                        "conditional branches need a flags producer; "
+                        "check the converter's flag-register emission");
+            continue;
+        }
+        // Warm-start exemption: a block whose first occurrence predates
+        // every flags definition legitimately consumes pre-trace state.
+        if (cfg.firstSeen[use.block] <= cfg.firstFlagsDefIndex)
+            continue;
+        sink.report(info, cfg.firstSeen[use.block], use.pc,
+                    "block " + hex(cfg.blocks[use.block].start) +
+                        " reads the flags but no flags definition "
+                        "reaches it along any reconstructed path",
+                    "a reachable flags producer must dominate every "
+                    "flag-reading conditional; check the CFG around "
+                    "this block's predecessors");
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+wholeProgramRuleIds()
+{
+    std::vector<std::string> ids;
+    for (const lint::RuleInfo &info : lint::ruleCatalog())
+        if (info.wholeProgram)
+            ids.emplace_back(info.id);
+    return ids;
+}
+
+void
+runCfgRules(const Cfg &cfg, const Dataflow &df,
+            const lint::LintLimits &limits,
+            const std::vector<std::string> &enabled,
+            lint::DiagnosticSink &sink)
+{
+    if (wants(enabled, "cfg-stale-def"))
+        checkStaleDefs(cfg, sink);
+    if (wants(enabled, "cfg-unreachable"))
+        checkUnreachable(cfg, sink);
+    if (wants(enabled, "cfg-fallthrough"))
+        checkFallthrough(cfg, sink);
+    if (wants(enabled, "cfg-call-balance"))
+        checkCallBalance(cfg, limits, sink);
+    if (wants(enabled, "cfg-flag-staleness"))
+        checkFlagStaleness(cfg, df, sink);
+}
+
+} // namespace flow
+} // namespace trb

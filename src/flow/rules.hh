@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The whole-program lint rules: the checks a linear scan cannot make
+ * because their evidence spans basic blocks.
+ *
+ * These rules live in the trb::lint catalog (same ids, severities,
+ * Diagnostic type and report machinery as the streaming rules, marked
+ * RuleInfo::wholeProgram) but run here, over the reconstructed Cfg and
+ * its Dataflow solution, instead of inside the streaming Linter:
+ *
+ *  - cfg-stale-def:      a dynamic occurrence dropped a destination its
+ *                        static µop canonically writes, and a later
+ *                        *different* block read the register;
+ *  - cfg-unreachable:    a non-entry block every one of whose entries
+ *                        was a teleport (no fall-through, taken, call
+ *                        or return edge ever explained it);
+ *  - cfg-fallthrough:    a block with more than one fall-through exit
+ *                        point or more than one fall-through successor;
+ *  - cfg-call-balance:   more dynamic returns to never-a-call-site
+ *                        targets than the RAS warm-up slack allows;
+ *  - cfg-flag-staleness: a cross-block flags read whose producer
+ *                        dropped the flags destination, or a
+ *                        flags-reading block no flags definition
+ *                        reaches (modulo the warm-start exemption).
+ */
+
+#ifndef TRB_FLOW_RULES_HH
+#define TRB_FLOW_RULES_HH
+
+#include <string>
+#include <vector>
+
+#include "flow/cfg.hh"
+#include "flow/dataflow.hh"
+#include "lint/rule.hh"
+
+namespace trb
+{
+namespace flow
+{
+
+/** Catalog-order ids of the whole-program rules. */
+std::vector<std::string> wholeProgramRuleIds();
+
+/**
+ * Run the whole-program rules over @p cfg / @p df, reporting through
+ * @p sink.  @p enabled lists the rule ids to run (whole-program ids
+ * only; ids are assumed validated against the catalog).
+ */
+void runCfgRules(const Cfg &cfg, const Dataflow &df,
+                 const lint::LintLimits &limits,
+                 const std::vector<std::string> &enabled,
+                 lint::DiagnosticSink &sink);
+
+} // namespace flow
+} // namespace trb
+
+#endif // TRB_FLOW_RULES_HH

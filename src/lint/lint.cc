@@ -45,6 +45,8 @@ LintOptions::resolveRules(std::vector<std::string> &out,
     for (const RuleInfo &info : ruleCatalog()) {
         if (info.id == alignRuleInfo().id)
             continue;   // the Linter itself owns the pseudo-rule
+        if (info.wholeProgram)
+            continue;   // CFG rules run in flow::analyzeTrace(), not here
         bool on = enable.empty() ||
                   std::find(enable.begin(), enable.end(), info.id) !=
                       enable.end();

@@ -40,6 +40,14 @@ struct RuleInfo
     const char *citation;    //!< paper section / defect class it encodes
     Severity severity;       //!< default severity of its findings
     bool needsCvp;           //!< true: paired (CVP + ChampSim) rules only
+
+    /**
+     * True for rules that need the reconstructed whole-program view
+     * (CFG + dataflow, trb::flow) rather than a linear scan.  They share
+     * the catalog, severities and report machinery, but the streaming
+     * Linter skips them; flow::analyzeTrace() runs them.
+     */
+    bool wholeProgram = false;
 };
 
 /** Tunable thresholds of the structural rules. */
@@ -59,6 +67,18 @@ struct LintLimits
      * layout; converted split µops step by 2, instructions by 4.
      */
     std::uint64_t maxFallthroughGap = 4096;
+
+    /**
+     * Largest forward PC step the whole-program CFG builder (trb::flow)
+     * accepts as a fall-through *edge*.  Stricter than
+     * maxFallthroughGap: an edge claims the two µops are static
+     * neighbours, and real code only skips a few conditionally-emitted
+     * helper slots (4 bytes each), so one fetch line is generous.
+     * Forward steps between this and maxFallthroughGap pass the
+     * streaming rule but enter the target block *unexplained* -- the
+     * evidence cfg-unreachable is built on.
+     */
+    std::uint64_t maxContiguousStep = 64;
 };
 
 /**

@@ -784,6 +784,65 @@ class BranchDeduceRule : public Rule
     }
 };
 
+// ---------------------------------------------------------------------
+// Whole-program (CFG) rules.  Only the registry entries live here: the
+// checkers need the reconstructed CFG and the dataflow solution, so
+// their implementations are in src/flow/ (cfg_rules.cc).  Keeping the
+// RuleInfo in the catalog gives them the same ids, severities,
+// enable/disable handling and JSON rendering as the streaming rules.
+
+const RuleInfo kCfgStaleDefInfo = {
+    "cfg-stale-def",
+    "every dynamic occurrence of a static µop carries its destination "
+    "registers: a dropped def leaves later cross-block reads consuming "
+    "a stale value",
+    "whole-program (cross-block def-before-use)",
+    Severity::Error,
+    false,
+    true,
+};
+
+const RuleInfo kCfgUnreachableInfo = {
+    "cfg-unreachable",
+    "every executed non-entry block is entered through an observed edge "
+    "(fall-through, taken branch, call or return), never only by "
+    "teleport",
+    "whole-program (unreachable block)",
+    Severity::Error,
+    false,
+    true,
+};
+
+const RuleInfo kCfgFallthroughInfo = {
+    "cfg-fallthrough",
+    "a block leaves through one fall-through point: one exit µop, one "
+    "successor PC across all its occurrences",
+    "whole-program (inconsistent fall-through)",
+    Severity::Error,
+    false,
+    true,
+};
+
+const RuleInfo kCfgCallBalanceInfo = {
+    "cfg-call-balance",
+    "return targets beyond the RAS slack match an observed call site's "
+    "fall-through PC (call and return edges balance in the call graph)",
+    "whole-program (call/return-edge imbalance)",
+    Severity::Error,
+    false,
+    true,
+};
+
+const RuleInfo kCfgFlagStalenessInfo = {
+    "cfg-flag-staleness",
+    "flag-reading conditionals have a live flags producer: the flags "
+    "write is never dropped upstream and never missing program-wide",
+    "whole-program (cross-block flag staleness)",
+    Severity::Error,
+    false,
+    true,
+};
+
 } // namespace
 
 // ---------------------------------------------------------------------
@@ -809,7 +868,9 @@ ruleCatalog()
         kMemDestRegsInfo,   kBaseUpdateSplitInfo, kMemFootprintInfo,
         kCallReturnInfo,    kBranchSrcRegsInfo,   kFlagDestInfo,
         kTakenTargetInfo,   kDefBeforeUseInfo,    kPcTeleportInfo,
-        kRasBalanceInfo,    kBranchDeduceInfo,    alignRuleInfo(),
+        kRasBalanceInfo,    kBranchDeduceInfo,    kCfgStaleDefInfo,
+        kCfgUnreachableInfo, kCfgFallthroughInfo, kCfgCallBalanceInfo,
+        kCfgFlagStalenessInfo, alignRuleInfo(),
     };
     return catalog;
 }

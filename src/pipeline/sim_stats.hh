@@ -51,7 +51,10 @@ struct SimStats
     double
     ipc() const
     {
-        return cycles ? static_cast<double>(instructions) / cycles : 0.0;
+        return cycles != 0
+                   ? static_cast<double>(instructions) /
+                         static_cast<double>(cycles)
+                   : 0.0;
     }
 
     double branchMpki() const { return mpki(branchMispredicts, instructions); }

@@ -53,7 +53,12 @@ static_assert(sizeof(ArtifactHeader) == 64,
 const char *
 kindPrefix(std::uint32_t kind)
 {
-    return kind == kTraceArtifact ? "tr-" : "st-";
+    switch (kind) {
+      case kTraceArtifact: return "tr-";
+      case kRegionBbvArtifact: return "bv-";
+      case kRegionMavArtifact: return "mv-";
+      default: return "st-";
+    }
 }
 
 std::size_t
@@ -440,14 +445,28 @@ Store::putTrace(const std::string &key, const ChampSimTrace &trace)
 bool
 Store::loadBits(const std::string &key, std::vector<std::uint64_t> &out)
 {
+    return loadBits(kStatsArtifact, key, out);
+}
+
+void
+Store::putBits(const std::string &key,
+               const std::vector<std::uint64_t> &bits)
+{
+    putBits(kStatsArtifact, key, bits);
+}
+
+bool
+Store::loadBits(std::uint32_t kind, const std::string &key,
+                std::vector<std::uint64_t> &out)
+{
     MappedFile map;
     std::vector<std::uint8_t> owned;
     const std::uint8_t *payload = nullptr;
     std::size_t bytes = 0;
-    if (!loadArtifact(kStatsArtifact, key, map, owned, payload, bytes))
+    if (!loadArtifact(kind, key, map, owned, payload, bytes))
         return false;
     if (bytes % sizeof(std::uint64_t) != 0) {
-        quarantine(artifactPath(kStatsArtifact, key),
+        quarantine(artifactPath(kind, key),
                    Status::corrupt("bit-pattern payload is not whole u64s")
                        .rule("store.record-size"));
         return false;
@@ -458,10 +477,10 @@ Store::loadBits(const std::string &key, std::vector<std::uint64_t> &out)
 }
 
 void
-Store::putBits(const std::string &key,
+Store::putBits(std::uint32_t kind, const std::string &key,
                const std::vector<std::uint64_t> &bits)
 {
-    putArtifact(kStatsArtifact, key, bits.data(),
+    putArtifact(kind, key, bits.data(),
                 bits.size() * sizeof(std::uint64_t));
 }
 

@@ -49,8 +49,10 @@ namespace store
 /** On-disk artifact kinds. */
 enum ArtifactKind : std::uint32_t
 {
-    kTraceArtifact = 1,   //!< converted ChampSim trace (record array)
-    kStatsArtifact = 2,   //!< u64 bit-pattern vector (SimStats::toBits)
+    kTraceArtifact = 1,      //!< converted ChampSim trace (record array)
+    kStatsArtifact = 2,      //!< u64 bit-pattern vector (SimStats::toBits)
+    kRegionBbvArtifact = 3,  //!< per-region basic-block vectors (trb::flow)
+    kRegionMavArtifact = 4,  //!< per-region memory-access vectors (trb::flow)
 };
 
 /** Store format version; bump on any layout change. */
@@ -157,6 +159,18 @@ class Store
 
     /** Publish a u64 bit-pattern artifact under @p key (best-effort). */
     void putBits(const std::string &key,
+                 const std::vector<std::uint64_t> &bits);
+
+    /**
+     * Kind-explicit u64 bit-pattern fetch, for the non-stats vector
+     * artifacts (region BBV/MAV matrices).  @p kind must be a
+     * bit-pattern ArtifactKind, never kTraceArtifact.
+     */
+    bool loadBits(std::uint32_t kind, const std::string &key,
+                  std::vector<std::uint64_t> &out);
+
+    /** Kind-explicit u64 bit-pattern publish (best-effort). */
+    void putBits(std::uint32_t kind, const std::string &key,
                  const std::vector<std::uint64_t> &bits);
 
     /** Every artifact in the store, sorted by file name. */

@@ -1,0 +1,449 @@
+/**
+ * @file
+ * Tests for trb::flow: CFG reconstruction over hand-built µop streams,
+ * the worklist dataflow solution, the whole-program lint rules against
+ * the committed cfg_* fixtures (which the streaming linter must pass),
+ * streaming/whole-program agreement on the dirty No_imp fixtures, and
+ * the region-signature matrices including their bit-identical round
+ * trip through the artifact store.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <initializer_list>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "convert/cvp2champsim.hh"
+#include "flow/analyze.hh"
+#include "flow/rules.hh"
+#include "lint/lint.hh"
+#include "obs/metrics.hh"
+#include "store/store.hh"
+#include "synth/generator.hh"
+#include "trace/champsim_trace.hh"
+
+namespace trb
+{
+namespace
+{
+
+using flow::Cfg;
+using flow::Dataflow;
+using flow::EdgeKind;
+using flow::FlowOptions;
+using flow::FlowResult;
+
+// ---------------------------------------------------------------------
+// Record factories (same shapes as tools/make_lint_testdata.cc).
+
+ChampSimRecord
+alu(Addr pc, RegId dst, std::initializer_list<RegId> srcs)
+{
+    ChampSimRecord rec;
+    rec.ip = pc;
+    if (dst != 0)
+        rec.addDstReg(dst);
+    for (RegId s : srcs)
+        rec.addSrcReg(s);
+    return rec;
+}
+
+ChampSimRecord
+condBr(Addr pc, bool taken, RegId condReg)
+{
+    ChampSimRecord rec;
+    rec.ip = pc;
+    rec.isBranch = 1;
+    rec.branchTaken = taken ? 1 : 0;
+    rec.addDstReg(champsim::kInstructionPointer);
+    rec.addSrcReg(champsim::kInstructionPointer);
+    rec.addSrcReg(condReg);
+    return rec;
+}
+
+ChampSimRecord
+load(Addr pc, RegId dst, Addr ea)
+{
+    ChampSimRecord rec = alu(pc, dst, {});
+    rec.addSrcMem(ea);
+    return rec;
+}
+
+/** A -> B -> C -> A taken-branch loop, @p iters times. */
+ChampSimTrace
+loopTrace(int iters)
+{
+    ChampSimTrace t;
+    for (int i = 0; i < iters; ++i) {
+        t.push_back(alu(0x1000, 7, {8}));
+        t.push_back(load(0x1004, 8, 0x80000 + 64 * Addr(i)));
+        t.push_back(condBr(0x1008, true, 7));
+        t.push_back(alu(0x2000, 9, {7}));
+        t.push_back(condBr(0x2004, true, 9));
+        t.push_back(alu(0x3000, 10, {9}));
+        t.push_back(condBr(0x3004, true, 10));
+    }
+    return t;
+}
+
+std::string
+fixturePath(const std::string &name)
+{
+    return std::string(TRB_SOURCE_DIR) + "/tests/data/lint/" + name;
+}
+
+// ---------------------------------------------------------------------
+// CFG reconstruction.
+
+TEST(Cfg, LoopBlocksAndEdges)
+{
+    Cfg cfg = flow::buildCfg(loopTrace(10));
+
+    ASSERT_EQ(cfg.blocks.size(), 3u);
+    EXPECT_EQ(cfg.entryBlock, 0u);
+    EXPECT_EQ(cfg.blocks[0].start, 0x1000u);
+    EXPECT_EQ(cfg.blocks[0].end, 0x1008u);
+    EXPECT_EQ(cfg.blocks[0].numUops, 3u);
+    EXPECT_TRUE(cfg.blocks[0].endsInBranch);
+    EXPECT_EQ(cfg.blocks[0].terminator, BranchType::Conditional);
+    EXPECT_EQ(cfg.blocks[0].execCount, 10u);
+    EXPECT_EQ(cfg.blocks[0].uopCount, 30u);
+
+    // Three taken edges, each traversed every iteration (A's re-entry
+    // edge 9 times), no teleports, every non-entry entry explained.
+    ASSERT_EQ(cfg.edges.size(), 3u);
+    for (const flow::Edge &e : cfg.edges)
+        EXPECT_EQ(e.kind, EdgeKind::Taken);
+    EXPECT_EQ(cfg.teleports, 0u);
+    for (std::size_t b = 1; b < cfg.blocks.size(); ++b)
+        EXPECT_EQ(cfg.blocks[b].entries, cfg.blocks[b].explainedEntries);
+}
+
+TEST(Cfg, MemorySummaryAndSignatures)
+{
+    Cfg cfg = flow::buildCfg(loopTrace(10));
+
+    const flow::BasicBlock &a = cfg.blocks[0];
+    EXPECT_EQ(a.mem.loads, 10u);
+    EXPECT_EQ(a.mem.stores, 0u);
+    EXPECT_EQ(a.mem.strideUnit, 9u);   // 64-byte stride, 9 revisits
+    EXPECT_EQ(a.mem.lines, 10u);
+
+    const flow::PcSig &sig = cfg.pcSigs.at(0x1008);
+    EXPECT_TRUE(sig.isBranch);
+    EXPECT_TRUE(sig.srcs.test(7));
+    EXPECT_TRUE(sig.dsts.test(champsim::kInstructionPointer));
+    EXPECT_EQ(sig.occurrences, 10u);
+}
+
+TEST(Cfg, FallthroughSplitsBlocks)
+{
+    // A non-taken branch ends the block; the successor is a new block
+    // entered through a fall-through edge.
+    ChampSimTrace t;
+    for (int i = 0; i < 5; ++i) {
+        t.push_back(alu(0x1000, 7, {}));
+        t.push_back(condBr(0x1004, false, 7));
+        t.push_back(alu(0x1008, 8, {7}));
+        t.push_back(condBr(0x100c, true, 8));
+    }
+    Cfg cfg = flow::buildCfg(t);
+
+    ASSERT_EQ(cfg.blocks.size(), 2u);
+    ASSERT_EQ(cfg.edges.size(), 2u);
+    EXPECT_EQ(cfg.edges[0].kind, EdgeKind::Fallthrough);
+    EXPECT_EQ(cfg.edges[1].kind, EdgeKind::Taken);
+    EXPECT_EQ(cfg.teleports, 0u);
+    ASSERT_EQ(cfg.fallExits[0].size(), 1u);
+    EXPECT_EQ(cfg.fallExits[0][0].targetPc, 0x1008u);
+    EXPECT_TRUE(cfg.fallExits[0][0].contiguous);
+}
+
+TEST(Cfg, TeleportEntryIsUnexplained)
+{
+    // A 256-byte forward skip: inside the streaming window, far beyond
+    // the static-neighbour window -- a teleport, not an edge.
+    ChampSimTrace t;
+    for (int i = 0; i < 5; ++i) {
+        t.push_back(alu(0x1000, 7, {}));
+        t.push_back(alu(0x1100, 8, {7}));
+        t.push_back(condBr(0x1104, true, 8));
+    }
+    Cfg cfg = flow::buildCfg(t);
+
+    ASSERT_EQ(cfg.blocks.size(), 2u);
+    EXPECT_EQ(cfg.teleports, 5u);
+    const flow::BasicBlock &d = cfg.blocks[1];
+    EXPECT_EQ(d.entries, 5u);
+    EXPECT_EQ(d.explainedEntries, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Dataflow.
+
+TEST(Dataflow, ReachingDefsAndLiveness)
+{
+    Cfg cfg = flow::buildCfg(loopTrace(10));
+    Dataflow df = flow::solveDataflow(cfg);
+
+    ASSERT_EQ(df.gen.size(), 3u);
+    // A defines r7/r8, C's use of r9 makes it live out of B, and B's
+    // def of r9 reaches C's entry.
+    EXPECT_TRUE(df.gen[0].test(7));
+    EXPECT_TRUE(df.gen[0].test(8));
+    EXPECT_TRUE(df.upExposed[1].test(7));
+    EXPECT_TRUE(df.liveOut[1].test(9));
+    EXPECT_TRUE(df.reachAnyIn[2].test(9));
+    EXPECT_GT(df.iterations, 0u);
+}
+
+TEST(Dataflow, DefUseChainsLinkAcrossBlocks)
+{
+    Cfg cfg = flow::buildCfg(loopTrace(10));
+    Dataflow df = flow::solveDataflow(cfg);
+
+    // B's upward-exposed read of r7 at 0x2000 must chain to A's def
+    // site at 0x1000 (the loop edge makes it reach).
+    const flow::UseSite *use = nullptr;
+    for (const flow::UseSite &u : df.chains)
+        if (u.reg == 7 && u.pc == 0x2000)
+            use = &u;
+    ASSERT_NE(use, nullptr);
+    ASSERT_EQ(use->defs.size(), 1u);
+    const flow::DefSite &def = df.defSites[use->defs[0]];
+    EXPECT_EQ(def.pc, 0x1000u);
+    EXPECT_EQ(def.reg, 7);
+}
+
+// ---------------------------------------------------------------------
+// Whole-program rules: catalog wiring.
+
+TEST(CfgRules, CatalogMarksWholeProgramRules)
+{
+    std::vector<std::string> ids = flow::wholeProgramRuleIds();
+    ASSERT_EQ(ids.size(), 5u);
+    for (const std::string &id : ids) {
+        const lint::RuleInfo *info = lint::findRule(id);
+        ASSERT_NE(info, nullptr) << id;
+        EXPECT_TRUE(info->wholeProgram) << id;
+        EXPECT_FALSE(info->needsCvp) << id;
+    }
+    // The streaming linter must skip them even on an explicit enable.
+    lint::LintOptions opts;
+    opts.enable = ids;
+    std::vector<std::string> resolved;
+    std::string bad;
+    ASSERT_TRUE(opts.resolveRules(resolved, bad));
+    EXPECT_TRUE(resolved.empty());
+}
+
+// ---------------------------------------------------------------------
+// Whole-program rules: the committed fixtures.  Each seeds exactly one
+// CFG defect; the streaming linter must pass every one of them (at
+// warn-and-above) while the analyzer flags exactly the intended rule.
+
+struct FixtureCase
+{
+    const char *file;
+    const char *rule;
+};
+
+class CfgFixture : public ::testing::TestWithParam<FixtureCase>
+{
+};
+
+TEST_P(CfgFixture, StreamingPassesAnalyzerFlags)
+{
+    const FixtureCase &fc = GetParam();
+    auto trace = tryReadChampSimTrace(fixturePath(fc.file));
+    ASSERT_TRUE(trace.ok()) << trace.status().message();
+
+    lint::LintReport streaming = lint::lintTrace(trace.value());
+    EXPECT_EQ(streaming.violations(), 0u)
+        << fc.file << " must be invisible to the linear scan";
+
+    FlowOptions opts;
+    opts.useStore = false;
+    FlowResult result = flow::analyzeTrace(trace.value(), opts);
+    EXPECT_GT(result.report.countFor(fc.rule), 0u);
+    for (const lint::RuleCount &rc : result.report.counts)
+        EXPECT_EQ(rc.rule, fc.rule)
+            << fc.file << " fired an unintended rule";
+    ASSERT_FALSE(result.report.diagnostics.empty());
+    EXPECT_EQ(result.report.diagnostics[0].rule, fc.rule);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seeded, CfgFixture,
+    ::testing::Values(
+        FixtureCase{"cfg_staledef.champsimtrace.gz", "cfg-stale-def"},
+        FixtureCase{"cfg_unreachable.champsimtrace.gz", "cfg-unreachable"},
+        FixtureCase{"cfg_fallthrough.champsimtrace.gz", "cfg-fallthrough"},
+        FixtureCase{"cfg_callimb.champsimtrace.gz", "cfg-call-balance"},
+        FixtureCase{"cfg_staleflags.champsimtrace.gz",
+                    "cfg-flag-staleness"}),
+    [](const auto &info) {
+        std::string name = info.param.rule;
+        std::replace(name.begin(), name.end(), '-', '_');
+        return name;
+    });
+
+TEST(CfgRules, StaleDefReportsUseSite)
+{
+    auto trace =
+        tryReadChampSimTrace(fixturePath("cfg_staledef.champsimtrace.gz"));
+    ASSERT_TRUE(trace.ok());
+    FlowOptions opts;
+    opts.useStore = false;
+    FlowResult result = flow::analyzeTrace(trace.value(), opts);
+    ASSERT_EQ(result.report.countFor("cfg-stale-def"), 2u);
+    for (const lint::Diagnostic &d : result.report.diagnostics)
+        EXPECT_EQ(d.pc, 0x3000u);   // the cross-block read, not the def
+}
+
+// ---------------------------------------------------------------------
+// Streaming/whole-program agreement: every diagnostic the linear scan
+// finds on the dirty fixtures must also be in the analyzer's report,
+// same rule at the same PC (the analyzer runs the same streaming pass).
+
+TEST(Agreement, AnalyzerSubsumesStreamingFindings)
+{
+    for (const char *name :
+         {"srv_small.No_imp.champsimtrace.gz",
+          "int_small.No_imp.champsimtrace.gz",
+          "mem_small.No_imp.champsimtrace.gz"}) {
+        auto trace = tryReadChampSimTrace(fixturePath(name));
+        ASSERT_TRUE(trace.ok()) << name;
+
+        lint::LintReport streaming = lint::lintTrace(trace.value());
+        FlowOptions opts;
+        opts.useStore = false;
+        opts.regionUops = 0;
+        FlowResult whole = flow::analyzeTrace(trace.value(), opts);
+
+        std::set<std::pair<std::string, Addr>> found;
+        for (const lint::Diagnostic &d : whole.report.diagnostics)
+            found.emplace(d.rule, d.pc);
+        for (const lint::Diagnostic &d : streaming.diagnostics)
+            EXPECT_TRUE(found.count({d.rule, d.pc}) != 0)
+                << name << ": " << d.rule << " at " << d.pc;
+        for (const lint::RuleCount &rc : streaming.counts)
+            EXPECT_EQ(whole.report.countFor(rc.rule), rc.count)
+                << name << ": " << rc.rule;
+    }
+}
+
+// ---------------------------------------------------------------------
+// Clean conversions stay clean under the whole-program pass.
+
+TEST(Analyze, FullyImprovedConversionsAreClean)
+{
+    for (WorkloadParams params :
+         {computeIntParams(7), serverParams(3)}) {
+        CvpTrace cvp = TraceGenerator(params).generate(20000);
+        ChampSimTrace cs = Cvp2ChampSim(ImprovementSet{kAllImps}).convert(cvp);
+
+        FlowOptions opts;
+        opts.useStore = false;
+        FlowResult result = flow::analyzeConverted(cvp, cs, opts);
+        EXPECT_TRUE(result.report.paired);
+        EXPECT_EQ(result.report.violations(), 0u);
+        EXPECT_EQ(result.cfg.teleports, 0u);
+        EXPECT_GT(result.cfg.blocks.size(), 1u);
+        EXPECT_FALSE(result.regions.empty());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Region signatures.
+
+TEST(Regions, RowsSumToRegionLength)
+{
+    ChampSimTrace t = loopTrace(100);   // 700 µops
+    Cfg cfg = flow::buildCfg(t);
+    flow::RegionSignatures regions = flow::buildRegions(t, cfg, 100);
+
+    ASSERT_EQ(regions.numRegions, 7u);
+    ASSERT_EQ(regions.blockPcs.size(), 3u);
+    EXPECT_TRUE(std::is_sorted(regions.blockPcs.begin(),
+                               regions.blockPcs.end()));
+    for (std::uint64_t r = 0; r < regions.numRegions; ++r) {
+        std::uint64_t uops = 0;
+        for (std::size_t c = 0; c < regions.blockPcs.size(); ++c)
+            uops += regions.bbvAt(r, c);
+        EXPECT_EQ(uops, 100u);
+        EXPECT_EQ(regions.mavAt(r, flow::kMavStores), 0u);
+        EXPECT_GT(regions.mavAt(r, flow::kMavLoads), 0u);
+    }
+    // Every line is new in its first region and the loop never revisits.
+    EXPECT_EQ(regions.mavAt(0, flow::kMavNewLines),
+              regions.mavAt(0, flow::kMavUniqueLines));
+}
+
+TEST(Regions, BitsRoundTrip)
+{
+    ChampSimTrace t = loopTrace(50);
+    Cfg cfg = flow::buildCfg(t);
+    flow::RegionSignatures regions = flow::buildRegions(t, cfg, 64);
+
+    flow::RegionSignatures back;
+    ASSERT_TRUE(back.fromBits(regions.bbvBits(), regions.mavBits()));
+    EXPECT_EQ(back.regionUops, regions.regionUops);
+    EXPECT_EQ(back.numRegions, regions.numRegions);
+    EXPECT_EQ(back.blockPcs, regions.blockPcs);
+    EXPECT_EQ(back.bbv, regions.bbv);
+    EXPECT_EQ(back.mav, regions.mav);
+
+    // Tampered headers are rejected without touching the destination.
+    std::vector<std::uint64_t> bad = regions.bbvBits();
+    bad[0] ^= 1;
+    flow::RegionSignatures untouched;
+    EXPECT_FALSE(untouched.fromBits(bad, regions.mavBits()));
+    EXPECT_EQ(untouched.numRegions, 0u);
+}
+
+TEST(Regions, DeterministicAcrossRebuilds)
+{
+    ChampSimTrace t = loopTrace(80);
+    Cfg cfg = flow::buildCfg(t);
+    flow::RegionSignatures a = flow::buildRegions(t, cfg, 128);
+    flow::RegionSignatures b = flow::buildRegions(t, cfg, 128);
+    EXPECT_EQ(a.bbvBits(), b.bbvBits());
+    EXPECT_EQ(a.mavBits(), b.mavBits());
+}
+
+// ---------------------------------------------------------------------
+// Store round trip: a warm analysis serves both region artifacts from
+// the store, bit-identically, with zero misses.
+
+TEST(Regions, WarmStoreServesRegions)
+{
+    std::string dir = std::string(TRB_BUILD_DIR) + "/flow_store_test";
+    std::filesystem::remove_all(dir);
+    store::Store::setDirForTesting(dir);
+
+    ChampSimTrace t = loopTrace(60);
+    FlowOptions opts;
+    opts.regionUops = 100;
+
+    FlowResult cold = flow::analyzeTrace(t, opts);
+    EXPECT_FALSE(cold.regionsFromStore);
+
+    auto &metrics = obs::MetricsRegistry::global();
+    std::uint64_t missesBefore = metrics.counterValue("store.misses");
+    FlowResult warm = flow::analyzeTrace(t, opts);
+    EXPECT_TRUE(warm.regionsFromStore);
+    EXPECT_EQ(metrics.counterValue("store.misses"), missesBefore);
+    EXPECT_EQ(warm.regions.bbvBits(), cold.regions.bbvBits());
+    EXPECT_EQ(warm.regions.mavBits(), cold.regions.mavBits());
+
+    store::Store::setDirForTesting("");
+    std::filesystem::remove_all(dir);
+}
+
+} // namespace
+} // namespace trb

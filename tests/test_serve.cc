@@ -94,7 +94,7 @@ class FramingTest : public ::testing::Test
 
 TEST_F(FramingTest, RoundTripsPayloads)
 {
-    for (const std::string payload :
+    for (const std::string &payload :
          {std::string(""), std::string("{}"),
           std::string("{\"op\": \"ping\"}"), std::string(4096, 'x')}) {
         ASSERT_TRUE(serve::writeFrame(fds_[0], payload).ok());

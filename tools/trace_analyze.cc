@@ -1,25 +1,31 @@
 /**
  * @file
- * trace_lint -- the trb::lint command-line front-end.
+ * trace_analyze -- the trb::flow command-line front-end.
  *
- * Statically checks converted ChampSim traces (and, when the originating
- * CVP-1 stream is given, the conversion itself) against the invariants a
- * fully improved cvp2champsim conversion guarantees.  No simulation runs.
+ * Reconstructs the whole-program view of converted µop traces (CFG,
+ * dataflow, region signatures) and runs every lint rule over it: the
+ * streaming rules first, then the CFG-aware whole-program rules the
+ * linear scan cannot express.  No simulation runs.
  *
- *   trace_lint trace.champsim.gz                  # structural rules only
- *   trace_lint --cvp orig.cvp.gz trace.champsim.gz   # all rules (paired)
- *   trace_lint --synth cvp1 --imp No_imp          # lint a synth suite
- *   trace_lint --list-rules                       # rule catalog
- *   trace_lint --selftest                         # env registry vs docs
+ *   trace_analyze trace.champsim.gz                 # stream-only rules
+ *   trace_analyze --cvp orig.cvp.gz trace.champsim.gz   # paired
+ *   trace_analyze suite:cvp1:srv_web                # a served suite entry
+ *   trace_analyze preset:int:7 --imp All_imps       # a synth preset
+ *   trace_analyze file:orig.cvp.gz                  # a CVP-1 file, paired
+ *   trace_analyze --synth cvp1                      # the whole suite
  *
- * Multiple trace files are linted in parallel on trb::par's global pool
- * (TRB_JOBS threads); reports are index-addressed, so output order always
- * matches input order.  The --synth mode fans out through the experiment
- * harness's forEachTrace(), exactly like the bench binaries.
+ * Spec arguments (suite:/preset:/file:, the trb::serve grammar) resolve
+ * to a CVP-1 stream which is converted with --imp and analyzed paired;
+ * bare paths are read as ChampSim traces and analyzed stream-only.
+ *
+ * Region signatures (--regions N µops per region) are published to and
+ * served from the TRB_STORE artifact cache when one is configured; the
+ * matrices are built in one deterministic linear pass, and multiple
+ * inputs fan out index-addressed on trb::par's pool, so all output is
+ * bit-identical at any TRB_JOBS.
  *
  * Exit status: 0 clean (relative to --fail-on), 1 findings at or above
- * the --fail-on threshold, 2 usage error or unreadable/corrupt input
- * (one-line diagnostic on stderr, never a crash).
+ * the --fail-on threshold, 2 usage error or unreadable input.
  */
 
 #include <cstring>
@@ -29,12 +35,13 @@
 #include <string>
 #include <vector>
 
-#include "common/env.hh"
 #include "convert/cvp2champsim.hh"
 #include "convert/improvements.hh"
 #include "experiments/experiment.hh"
-#include "lint/lint.hh"
+#include "flow/analyze.hh"
+#include "obs/metrics.hh"
 #include "par/thread_pool.hh"
+#include "serve/protocol.hh"
 #include "synth/suites.hh"
 #include "trace/champsim_trace.hh"
 #include "trace/cvp_trace.hh"
@@ -53,41 +60,48 @@ enum class FailOn
 
 struct CliOptions
 {
-    std::vector<std::string> traces;   //!< positional ChampSim traces
+    std::vector<std::string> inputs;   //!< positional traces or specs
     std::vector<std::string> cvps;     //!< --cvp files, paired by position
-    std::string synthSuite;            //!< "cvp1" or "ipc1" (empty: files)
-    ImprovementSet imps = kAllImps;    //!< converter config for --synth
-    lint::LintOptions lintOpts;
+    std::string synthSuite;            //!< "cvp1" or "ipc1" (empty: inputs)
+    ImprovementSet imps = kAllImps;    //!< converter config for specs
+    std::uint64_t length = 50000;      //!< synthetic spec length
+    flow::FlowOptions flowOpts;
     FailOn failOn = FailOn::Error;
     std::string jsonPath;              //!< "-" for stdout
-    std::string docsPath = "docs/env-vars.md";   //!< --selftest table
     bool json = false;
     bool listRules = false;
-    bool selftest = false;
 };
 
 void
 usage(std::ostream &os)
 {
-    os << "usage: trace_lint [options] <trace.champsim[.gz]>...\n"
-          "       trace_lint [options] --synth cvp1|ipc1 [--imp SET]\n"
-          "       trace_lint --list-rules\n"
-          "       trace_lint --selftest [--docs FILE]\n"
+    os << "usage: trace_analyze [options] <trace.champsim[.gz] | spec>...\n"
+          "       trace_analyze [options] --synth cvp1|ipc1 [--imp SET]\n"
+          "       trace_analyze --list-rules\n"
           "\n"
-          "Statically check converted ChampSim traces against the\n"
-          "invariants of a fully improved CVP-1 conversion (no simulation).\n"
+          "Whole-program static analysis of converted µop traces: CFG\n"
+          "reconstruction, dataflow, CFG-aware lint rules and region\n"
+          "signatures (no simulation).  A spec is suite:cvp1:<name>,\n"
+          "suite:ipc1:<name>, preset:<kind>:<seed> or file:<path> (a\n"
+          "CVP-1 trace), resolved and converted before paired analysis;\n"
+          "a bare path is a ChampSim trace, analyzed stream-only.\n"
           "\n"
           "options:\n"
           "  --cvp FILE        originating CVP-1 trace for the Nth\n"
           "                    positional trace (repeatable); enables the\n"
           "                    paired rules\n"
-          "  --synth SUITE     lint conversions of the synthetic cvp1 or\n"
-          "                    ipc1 suite instead of files\n"
-          "  --imp SET         improvement set for --synth (No_imp,\n"
-          "                    Memory_imps, Branch_imps, All_imps,\n"
-          "                    IPC1_imps, imp_*; default All_imps)\n"
+          "  --synth SUITE     analyze conversions of the synthetic cvp1\n"
+          "                    or ipc1 suite instead of inputs\n"
+          "  --imp SET         improvement set for specs/--synth (default\n"
+          "                    All_imps)\n"
+          "  --length N        dynamic instructions for synthetic specs\n"
+          "                    (default 50000)\n"
+          "  --regions N       region length in µops (default 10000;\n"
+          "                    0 disables region signatures)\n"
+          "  --no-store        do not serve/publish region artifacts\n"
+          "                    through TRB_STORE\n"
           "  --enable LIST     comma-separated rule ids to run (default\n"
-          "                    all)\n"
+          "                    all, streaming and whole-program)\n"
           "  --disable LIST    comma-separated rule ids to skip\n"
           "  --max-diag N      diagnostics stored per rule (default 20)\n"
           "  --fail-on KIND    error|warn|none: lowest severity that\n"
@@ -95,11 +109,6 @@ usage(std::ostream &os)
           "  --json[=FILE]     machine-readable report to FILE (default\n"
           "                    stdout)\n"
           "  --list-rules      print the rule catalog and exit\n"
-          "  --selftest        check that every registered TRB_* env\n"
-          "                    variable is documented in the env-vars\n"
-          "                    table, then exit\n"
-          "  --docs FILE       env-vars table for --selftest (default\n"
-          "                    docs/env-vars.md)\n"
           "  -h, --help        this text\n";
 }
 
@@ -115,6 +124,13 @@ splitList(const std::string &s)
     return out;
 }
 
+bool
+isSpec(const std::string &arg)
+{
+    return arg.rfind("suite:", 0) == 0 || arg.rfind("preset:", 0) == 0 ||
+           arg.rfind("file:", 0) == 0;
+}
+
 /** Parse argv; returns false (after printing to stderr) on bad usage. */
 bool
 parseArgs(int argc, char **argv, CliOptions &opts)
@@ -123,7 +139,7 @@ parseArgs(int argc, char **argv, CliOptions &opts)
         std::string arg = argv[i];
         auto value = [&](const char *name) -> const char * {
             if (i + 1 >= argc) {
-                std::cerr << "trace_lint: " << name
+                std::cerr << "trace_analyze: " << name
                           << " needs an argument\n";
                 return nullptr;
             }
@@ -134,13 +150,6 @@ parseArgs(int argc, char **argv, CliOptions &opts)
             std::exit(0);
         } else if (arg == "--list-rules") {
             opts.listRules = true;
-        } else if (arg == "--selftest") {
-            opts.selftest = true;
-        } else if (arg == "--docs") {
-            const char *v = value("--docs");
-            if (!v)
-                return false;
-            opts.docsPath = v;
         } else if (arg == "--cvp") {
             const char *v = value("--cvp");
             if (!v)
@@ -152,8 +161,8 @@ parseArgs(int argc, char **argv, CliOptions &opts)
                 return false;
             opts.synthSuite = v;
             if (opts.synthSuite != "cvp1" && opts.synthSuite != "ipc1") {
-                std::cerr << "trace_lint: --synth takes cvp1 or ipc1, got '"
-                          << opts.synthSuite << "'\n";
+                std::cerr << "trace_analyze: --synth takes cvp1 or ipc1, "
+                             "got '" << opts.synthSuite << "'\n";
                 return false;
             }
         } else if (arg == "--imp") {
@@ -161,27 +170,39 @@ parseArgs(int argc, char **argv, CliOptions &opts)
             if (!v)
                 return false;
             if (!parseImprovementSet(v, opts.imps)) {
-                std::cerr << "trace_lint: unknown improvement set '" << v
-                          << "'\n";
+                std::cerr << "trace_analyze: unknown improvement set '"
+                          << v << "'\n";
                 return false;
             }
+        } else if (arg == "--length") {
+            const char *v = value("--length");
+            if (!v)
+                return false;
+            opts.length = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--regions") {
+            const char *v = value("--regions");
+            if (!v)
+                return false;
+            opts.flowOpts.regionUops = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--no-store") {
+            opts.flowOpts.useStore = false;
         } else if (arg == "--enable") {
             const char *v = value("--enable");
             if (!v)
                 return false;
             for (auto &id : splitList(v))
-                opts.lintOpts.enable.push_back(id);
+                opts.flowOpts.lint.enable.push_back(id);
         } else if (arg == "--disable") {
             const char *v = value("--disable");
             if (!v)
                 return false;
             for (auto &id : splitList(v))
-                opts.lintOpts.disable.push_back(id);
+                opts.flowOpts.lint.disable.push_back(id);
         } else if (arg == "--max-diag") {
             const char *v = value("--max-diag");
             if (!v)
                 return false;
-            opts.lintOpts.maxDiagnosticsPerRule =
+            opts.flowOpts.lint.maxDiagnosticsPerRule =
                 std::strtoull(v, nullptr, 10);
         } else if (arg.rfind("--fail-on", 0) == 0) {
             std::string v;
@@ -200,8 +221,8 @@ parseArgs(int argc, char **argv, CliOptions &opts)
             } else if (v == "none") {
                 opts.failOn = FailOn::None;
             } else {
-                std::cerr << "trace_lint: --fail-on takes error, warn or "
-                             "none, got '" << v << "'\n";
+                std::cerr << "trace_analyze: --fail-on takes error, warn "
+                             "or none, got '" << v << "'\n";
                 return false;
             }
         } else if (arg.rfind("--json", 0) == 0) {
@@ -209,68 +230,36 @@ parseArgs(int argc, char **argv, CliOptions &opts)
             opts.jsonPath =
                 (arg.size() > 6 && arg[6] == '=') ? arg.substr(7) : "-";
         } else if (!arg.empty() && arg[0] == '-') {
-            std::cerr << "trace_lint: unknown option '" << arg << "'\n";
+            std::cerr << "trace_analyze: unknown option '" << arg << "'\n";
             return false;
         } else {
-            opts.traces.push_back(arg);
+            opts.inputs.push_back(arg);
         }
     }
 
     std::string bad;
     std::vector<std::string> resolved;
-    if (!opts.lintOpts.resolveRules(resolved, bad)) {
-        std::cerr << "trace_lint: unknown rule '" << bad
+    if (!opts.flowOpts.lint.resolveRules(resolved, bad)) {
+        std::cerr << "trace_analyze: unknown rule '" << bad
                   << "' (see --list-rules)\n";
         return false;
     }
-    if (opts.listRules || opts.selftest)
+    if (opts.listRules)
         return true;
-    if (!opts.synthSuite.empty() && !opts.traces.empty()) {
-        std::cerr << "trace_lint: --synth and trace files are mutually "
+    if (!opts.synthSuite.empty() && !opts.inputs.empty()) {
+        std::cerr << "trace_analyze: --synth and inputs are mutually "
                      "exclusive\n";
         return false;
     }
-    if (opts.synthSuite.empty() && opts.traces.empty()) {
+    if (opts.synthSuite.empty() && opts.inputs.empty()) {
         usage(std::cerr);
         return false;
     }
-    if (opts.cvps.size() > opts.traces.size()) {
-        std::cerr << "trace_lint: more --cvp files than traces\n";
+    if (opts.cvps.size() > opts.inputs.size()) {
+        std::cerr << "trace_analyze: more --cvp files than inputs\n";
         return false;
     }
     return true;
-}
-
-/**
- * Check that every variable in the trb::env registry appears in the
- * env-vars documentation table.  This is what keeps docs/env-vars.md
- * honest: adding a knob to the registry without a doc row fails CI.
- * Exit 0 all documented, 1 missing rows, 2 unreadable docs file.
- */
-int
-runSelftest(const std::string &docsPath)
-{
-    std::ifstream file(docsPath);
-    if (!file) {
-        std::cerr << "trace_lint: cannot read '" << docsPath
-                  << "' (pass --docs FILE)\n";
-        return 2;
-    }
-    std::stringstream buf;
-    buf << file.rdbuf();
-    const std::string docs = buf.str();
-
-    std::uint64_t missing = 0;
-    for (const env::VarInfo &var : env::registry()) {
-        if (docs.find(var.name) == std::string::npos) {
-            std::cerr << "trace_lint: " << var.name << " (" << var.summary
-                      << ") is not documented in " << docsPath << "\n";
-            ++missing;
-        }
-    }
-    std::cout << "selftest: " << env::registry().size()
-              << " registered env var(s), " << missing << " undocumented\n";
-    return missing == 0 ? 0 : 1;
 }
 
 void
@@ -279,62 +268,74 @@ listRules()
     for (const lint::RuleInfo &info : lint::ruleCatalog()) {
         std::cout << info.id << " [" << lint::severityName(info.severity)
                   << (info.needsCvp ? ", paired" : "")
-                  << (info.wholeProgram ? ", whole-program (trace_analyze)"
-                                        : "")
-                  << "]\n    " << info.summary << "\n    ("
-                  << info.citation << ")\n";
+                  << (info.wholeProgram ? ", whole-program" : "") << "]\n    "
+                  << info.summary << "\n    (" << info.citation << ")\n";
     }
 }
 
-/** One lint job and its index-addressed result. */
+/** One analysis job and its index-addressed result. */
 struct Job
 {
     std::size_t index = 0;
     std::string name;
-    std::string csPath;
-    std::string cvpPath;   //!< empty: stream-only
+    std::string input;     //!< ChampSim path or serve spec
+    std::string cvpPath;   //!< empty: stream-only (paths only)
 };
 
 int
-runFiles(const CliOptions &opts, std::vector<std::string> &names,
-         std::vector<lint::LintReport> &reports)
+runInputs(const CliOptions &opts, std::vector<std::string> &names,
+          std::vector<flow::FlowResult> &results)
 {
     std::vector<Job> jobs;
-    for (std::size_t i = 0; i < opts.traces.size(); ++i) {
+    for (std::size_t i = 0; i < opts.inputs.size(); ++i) {
         Job job;
         job.index = i;
-        job.csPath = opts.traces[i];
-        job.name = opts.traces[i];
+        job.input = opts.inputs[i];
+        job.name = opts.inputs[i];
         if (i < opts.cvps.size())
             job.cvpPath = opts.cvps[i];
         jobs.push_back(std::move(job));
     }
 
-    // Index-addressed fan-out: report i always belongs to input i, so
+    // Index-addressed fan-out: result i always belongs to input i, so
     // the output is schedule-independent.  Unreadable or corrupt inputs
     // land a Status in their slot instead of killing the process; the
     // first (in input order) is reported after the joins.
     std::vector<Status> failed(jobs.size());
-    reports = par::ThreadPool::global().parallelMap(
+    results = par::ThreadPool::global().parallelMap(
         jobs, [&](const Job &job) {
-            Expected<ChampSimTrace> cs = tryReadChampSimTrace(job.csPath);
+            if (isSpec(job.input)) {
+                serve::ServeRequest req;
+                req.trace = job.input;
+                req.length = opts.length;
+                Expected<CvpTrace> cvp = serve::resolveTrace(req);
+                if (!cvp.ok()) {
+                    failed[job.index] = cvp.status();
+                    return flow::FlowResult{};
+                }
+                Cvp2ChampSim conv(opts.imps);
+                ChampSimTrace cs = conv.convert(cvp.value());
+                return flow::analyzeConverted(cvp.value(), cs,
+                                              opts.flowOpts);
+            }
+            Expected<ChampSimTrace> cs = tryReadChampSimTrace(job.input);
             if (!cs.ok()) {
                 failed[job.index] = cs.status();
-                return lint::LintReport{};
+                return flow::FlowResult{};
             }
             if (job.cvpPath.empty())
-                return lint::lintTrace(cs.value(), opts.lintOpts);
+                return flow::analyzeTrace(cs.value(), opts.flowOpts);
             Expected<CvpTrace> cvp = tryReadCvpTrace(job.cvpPath);
             if (!cvp.ok()) {
                 failed[job.index] = cvp.status();
-                return lint::LintReport{};
+                return flow::FlowResult{};
             }
-            return lint::lintConverted(cvp.value(), cs.value(),
-                                       opts.lintOpts);
+            return flow::analyzeConverted(cvp.value(), cs.value(),
+                                          opts.flowOpts);
         });
     for (const Status &status : failed) {
         if (!status.ok()) {
-            std::cerr << "trace_lint: " << status.toString() << "\n";
+            std::cerr << "trace_analyze: " << status.toString() << "\n";
             return 2;
         }
     }
@@ -345,20 +346,20 @@ runFiles(const CliOptions &opts, std::vector<std::string> &names,
 
 int
 runSynth(const CliOptions &opts, std::vector<std::string> &names,
-         std::vector<lint::LintReport> &reports)
+         std::vector<flow::FlowResult> &results)
 {
     std::vector<TraceSpec> suite = opts.synthSuite == "cvp1"
-                                       ? cvp1PublicSuite(50000)
-                                       : ipc1Suite(50000);
+                                       ? cvp1PublicSuite(opts.length)
+                                       : ipc1Suite(opts.length);
     std::size_t count = suiteCount(suite);
     names.resize(count);
-    reports.resize(count);
+    results.resize(count);
     forEachTrace(suite, [&](std::size_t i, const TraceSpec &spec,
                             const CvpTrace &cvp) {
         Cvp2ChampSim conv(opts.imps);
         ChampSimTrace cs = conv.convert(cvp);
         names[i] = spec.name;
-        reports[i] = lint::lintConverted(cvp, cs, opts.lintOpts);
+        results[i] = flow::analyzeConverted(cvp, cs, opts.flowOpts);
     });
     return 0;
 }
@@ -371,30 +372,28 @@ main(int argc, char **argv)
     CliOptions opts;
     if (!parseArgs(argc, argv, opts))
         return 2;
-    if (opts.selftest)
-        return runSelftest(opts.docsPath);
     if (opts.listRules) {
         listRules();
         return 0;
     }
 
     std::vector<std::string> names;
-    std::vector<lint::LintReport> reports;
-    int rc = opts.synthSuite.empty() ? runFiles(opts, names, reports)
-                                     : runSynth(opts, names, reports);
+    std::vector<flow::FlowResult> results;
+    int rc = opts.synthSuite.empty() ? runInputs(opts, names, results)
+                                     : runSynth(opts, names, results);
     if (rc != 0)
         return rc;
 
     std::uint64_t errors = 0;
     std::uint64_t warnings = 0;
-    for (std::size_t i = 0; i < reports.size(); ++i) {
-        errors += reports[i].errors;
-        warnings += reports[i].warnings;
-        lint::writeReportText(std::cout, reports[i], names[i]);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        errors += results[i].report.errors;
+        warnings += results[i].report.warnings;
+        flow::writeAnalysisText(std::cout, results[i], names[i]);
     }
-    if (reports.size() > 1)
+    if (results.size() > 1)
         std::cout << "total: " << errors << " error(s), " << warnings
-                  << " warning(s) across " << reports.size()
+                  << " warning(s) across " << results.size()
                   << " trace(s)\n";
 
     if (opts.json) {
@@ -403,21 +402,23 @@ main(int argc, char **argv)
         if (opts.jsonPath != "-") {
             file.open(opts.jsonPath);
             if (!file) {
-                std::cerr << "trace_lint: cannot write '" << opts.jsonPath
-                          << "'\n";
+                std::cerr << "trace_analyze: cannot write '"
+                          << opts.jsonPath << "'\n";
                 return 2;
             }
             os = &file;
         }
         *os << "{\"reports\": [";
-        for (std::size_t i = 0; i < reports.size(); ++i) {
+        for (std::size_t i = 0; i < results.size(); ++i) {
             if (i)
                 *os << ", ";
-            lint::writeReportJson(*os, reports[i], names[i]);
+            flow::writeAnalysisJson(*os, results[i], names[i]);
         }
         *os << "], \"totals\": {\"errors\": " << errors
             << ", \"warnings\": " << warnings << "}}\n";
     }
+
+    obs::finish();   // honour TRB_OBS_JSON / TRB_OBS_CSV / TRB_OBS_SPANS
 
     switch (opts.failOn) {
       case FailOn::Error:
