@@ -164,6 +164,27 @@ BM_CoreSimulationTraced(benchmark::State &state)
 }
 BENCHMARK(BM_CoreSimulationTraced);
 
+void
+BM_CoreSimulationCancelPoll(benchmark::State &state)
+{
+    // The serving daemon's configuration: a cancel token attached but
+    // never fired.  Compare against BM_CoreSimulation to price the
+    // hot-loop poll (one masked test per record, one relaxed load per
+    // kCancelPollInterval records).
+    CvpTrace cvp = TraceGenerator(serverParams(11)).generate(20000);
+    Cvp2ChampSim conv(kAllImps);
+    ChampSimTrace trace = conv.convert(cvp);
+    resil::CancelToken token;
+    for (auto _ : state) {
+        O3Core core(modernConfig());
+        core.setCancelToken(&token);
+        SimStats s = core.run(trace);
+        benchmark::DoNotOptimize(s.cycles);
+    }
+    state.SetItemsProcessed(state.iterations() * trace.size());
+}
+BENCHMARK(BM_CoreSimulationCancelPoll);
+
 // --- Contended metrics updates: the three concurrency strategies. ---
 //
 // The experiment harness updates the metrics registry from every worker

@@ -34,11 +34,17 @@ registry()
                           " here at exit"},
         {"TRB_PIPE_JSON", "write a Chrome trace of the pipeline here"},
         {"TRB_RETRIES", "attempts for transient I/O failures"},
+        {"TRB_SERVE_DEADLINE_MS", "trace_client default per-request"
+                                  " deadline in ms (0/unset: none)"},
         {"TRB_SERVE_QUANTUM", "requests served per client per"
                               " round-robin turn"},
         {"TRB_SERVE_QUEUE", "daemon queue bound; beyond it requests get"
                             " a typed busy reply"},
         {"TRB_SERVE_SOCKET", "trace_served Unix-domain socket path"},
+        {"TRB_SERVE_WATCHDOG_MS", "daemon deadline/dead-client sweep"
+                                  " period in ms (0: watchdog off)"},
+        {"TRB_SERVE_WRITE_MS", "daemon per-reply peer-readiness bound"
+                               " in ms (0: block indefinitely)"},
         {"TRB_STORE", "content-addressed artifact cache directory"},
         {"TRB_SUITE_SCALE", "fraction (0,1] of each trace suite to run"},
         {"TRB_TRACE_BUF", "pipeline event tracer ring capacity"},

@@ -251,6 +251,29 @@ ThreadPool::submit(std::function<void()> fn)
     sleepCv_.notify_all();
 }
 
+void
+ThreadPool::submit(std::function<void()> fn,
+                   const std::atomic<bool> *cancel,
+                   std::function<void()> onCancel)
+{
+    if (!cancel) {
+        submit(std::move(fn));
+        return;
+    }
+    // The flag is tested when the task is *popped*, not when it is
+    // queued: a cancellation that lands while the task waits in a deque
+    // still skips the work.
+    submit([fn = std::move(fn), cancel,
+            onCancel = std::move(onCancel)] {
+        if (cancel->load(std::memory_order_relaxed)) {
+            if (onCancel)
+                onCancel();
+            return;
+        }
+        fn();
+    });
+}
+
 std::uint64_t
 ThreadPool::stealCount() const
 {

@@ -96,6 +96,23 @@ class ThreadPool
     void submit(std::function<void()> fn);
 
     /**
+     * Cancellation-aware submit(): when the task is popped for
+     * execution, @p cancel is tested first (one relaxed load) -- if it
+     * has been set, @p onCancel runs instead of @p fn, so
+     * queued-but-unstarted work cancels without burning a worker on it.
+     * Work already *running* is not interrupted; long tasks poll their
+     * own token cooperatively (see resil/cancel.hh -- the pool takes a
+     * raw `const std::atomic<bool> *` so trb_par stays independent of
+     * trb_resil; pass `&token.flag()`).  A null @p cancel degrades to
+     * the plain submit().  The TRB_JOBS=1 inline path honours the flag
+     * too.  @p cancel must outlive the task; closing the flag's owner
+     * into @p fn/@p onCancel (e.g. a shared_ptr) is the usual way.
+     */
+    void submit(std::function<void()> fn,
+                const std::atomic<bool> *cancel,
+                std::function<void()> onCancel = {});
+
+    /**
      * Map @p items through @p fn in parallel, returning results in
      * input order (index-addressed, so the result is independent of the
      * schedule).

@@ -177,6 +177,12 @@ O3Core::run(ChampSimView trace, std::uint64_t warmup)
         if (i == warmup && warmup > 0)
             base = snapshot();
 
+        // Cooperative cancellation: the mask test is the only on-path
+        // cost; the relaxed load happens once per poll interval.
+        if ((i & (kCancelPollInterval - 1)) == 0 && cancel_ &&
+            cancel_->cancelled())
+            throw resil::CancelledError(cancel_->reason());
+
         const ChampSimRecord &rec = trace[i];
 
         // ---- Fetch. ----

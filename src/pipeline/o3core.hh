@@ -35,6 +35,7 @@
 #include "cache/hierarchy.hh"
 #include "ipref/instr_prefetcher.hh"
 #include "obs/pipeline_trace.hh"
+#include "resil/cancel.hh"
 #include "pipeline/core_params.hh"
 #include "pipeline/sim_stats.hh"
 #include "trace/branch_deduce.hh"
@@ -74,6 +75,24 @@ class O3Core
      * core only pays a pointer test per instruction when detached.
      */
     void setTracer(obs::PipelineTracer *tracer) { tracer_ = tracer; }
+
+    /**
+     * Attach (or detach with nullptr) a cancellation token: run() polls
+     * it every kCancelPollInterval retired instructions (one relaxed
+     * load on-path) and bails out by throwing resil::CancelledError
+     * when it has fired.  Detached, the per-poll cost is one pointer
+     * test -- the same pattern as setTracer().  The partial run's
+     * statistics are discarded with the exception; cancellation never
+     * produces (or memoizes) a truncated result.
+     */
+    void
+    setCancelToken(const resil::CancelToken *token)
+    {
+        cancel_ = token;
+    }
+
+    /** Instructions between cancellation polls (a power of two). */
+    static constexpr std::size_t kCancelPollInterval = 4096;
 
     /** The memory hierarchy (for metrics export and inspection). */
     const MemoryHierarchy &memory() const { return mem_; }
@@ -124,6 +143,7 @@ class O3Core
     Ras ras_;
     InstrPrefetcher *ipref_;
     obs::PipelineTracer *tracer_ = nullptr;
+    const resil::CancelToken *cancel_ = nullptr;
 
     // Raw cumulative counters (snapshotted at the warmup boundary).
     SimStats raw_;

@@ -1,0 +1,65 @@
+#include "resil/cancel.hh"
+
+#include <limits>
+
+namespace trb
+{
+namespace resil
+{
+
+void
+CancelToken::cancel(const std::string &reason)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (reason_.empty())
+            reason_ = reason.empty() ? "cancelled" : reason;
+    }
+    // The reason is published before the flag so a poller that observes
+    // cancelled() == true always reads a complete reason.
+    cancelled_.store(true, std::memory_order_release);
+}
+
+std::string
+CancelToken::reason() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return reason_;
+}
+
+void
+CancelToken::throwIfCancelled() const
+{
+    if (cancelled())
+        throw CancelledError(reason());
+}
+
+Deadline
+Deadline::after(std::uint64_t ms)
+{
+    Deadline d;
+    d.set_ = true;
+    d.at_ = std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(ms);
+    return d;
+}
+
+bool
+Deadline::expired() const
+{
+    return set_ && std::chrono::steady_clock::now() >= at_;
+}
+
+std::int64_t
+Deadline::remainingMs() const
+{
+    if (!set_)
+        return std::numeric_limits<std::int64_t>::max() / 1000000;
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                    at_ - std::chrono::steady_clock::now())
+                    .count();
+    return left < 0 ? 0 : left;
+}
+
+} // namespace resil
+} // namespace trb

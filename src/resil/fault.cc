@@ -31,17 +31,6 @@ planHash(std::uint64_t seed, std::uint64_t k)
     return mix64(seed + k * 0x9e3779b97f4a7c15ULL);
 }
 
-/** FNV-1a over a string, folded with a seed and a purpose tag. */
-std::uint64_t
-streamHash(std::uint64_t seed, unsigned purpose, const std::string &name)
-{
-    std::uint64_t h = 0xcbf29ce484222325ULL ^ seed;
-    h = (h ^ purpose) * 0x100000001b3ULL;
-    for (char c : name)
-        h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
-    // One splitmix pass scrambles the low bits FNV leaves weak.
-    return mix64(h);
-}
 
 /** Uniform double in [0,1) from a hash value. */
 double
@@ -60,6 +49,19 @@ constexpr std::uint64_t kGarbageSkip = 20;
 
 } // namespace
 
+std::uint64_t
+streamNoise(std::uint64_t seed, unsigned purpose,
+            const std::string &name)
+{
+    // FNV-1a over the name, folded with the seed and a purpose tag.
+    std::uint64_t h = 0xcbf29ce484222325ULL ^ seed;
+    h = (h ^ purpose) * 0x100000001b3ULL;
+    for (char c : name)
+        h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ULL;
+    // One splitmix pass scrambles the low bits FNV leaves weak.
+    return mix64(h);
+}
+
 const char *
 faultKindName(FaultKind kind)
 {
@@ -74,6 +76,12 @@ faultKindName(FaultKind kind)
         return "short-read";
       case FaultKind::Flaky:
         return "flaky";
+      case FaultKind::ConnReset:
+        return "conn-reset";
+      case FaultKind::ConnStall:
+        return "conn-stall";
+      case FaultKind::PartialWrite:
+        return "partial-write";
     }
     return "unknown";
 }
@@ -194,6 +202,26 @@ FaultPlan::corruptChunk(std::uint8_t *data, std::size_t len,
     }
 }
 
+unsigned
+FaultPlan::connResetAfterFrames() const
+{
+    return 1 + static_cast<unsigned>(planHash(seed, 0x21) & 3);
+}
+
+unsigned
+FaultPlan::connStallMsFor(std::uint64_t frame) const
+{
+    return 1 + static_cast<unsigned>(
+                   planHash(seed, 0x31 + frame * 2) & 15);
+}
+
+std::size_t
+FaultPlan::partialWriteChunkFor(std::uint64_t frame) const
+{
+    return 1 + static_cast<std::size_t>(
+                   planHash(seed, 0x41 + frame * 2) % 7);
+}
+
 FaultInjector::FaultInjector()
 {
     const char *text = env::raw("TRB_FAULT");
@@ -242,18 +270,21 @@ FaultInjector::plan(const std::string &name) const
     FaultPlan plan;
     if (!enabled_)
         return plan;
-    plan.seed = streamHash(seed_, 0xf0, name);
+    plan.seed = streamNoise(seed_, 0xf0, name);
     auto afflicted = [&](FaultKind kind) {
         double rate = spec_.rate[static_cast<unsigned>(kind)];
         if (rate <= 0.0)
             return false;
-        return hashUniform(streamHash(
+        return hashUniform(streamNoise(
                    seed_, static_cast<unsigned>(kind) + 1, name)) < rate;
     };
     plan.truncate = afflicted(FaultKind::Truncate);
     plan.bitflip = afflicted(FaultKind::BitFlip);
     plan.garbage = afflicted(FaultKind::Garbage);
     plan.shortRead = afflicted(FaultKind::ShortRead);
+    plan.connReset = afflicted(FaultKind::ConnReset);
+    plan.connStall = afflicted(FaultKind::ConnStall);
+    plan.partialWrite = afflicted(FaultKind::PartialWrite);
     if (afflicted(FaultKind::Flaky)) {
         // 1 or 2 transient failures, below the default TRB_RETRIES=3.
         plan.transientFailures =

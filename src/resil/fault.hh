@@ -16,6 +16,19 @@
  *                       the first attempt(s), then succeeds -- the
  *                       retry/backoff path's test vehicle
  *
+ * Connection-scoped kinds afflict the trb::serve *wire* instead of a
+ * byte stream; the serve daemon resolves them per connection (keyed by
+ * the connection name, "conn-<n>", so the afflicted set is
+ * reproducible) and applies them to its reply frames:
+ *
+ *  - conn-reset:<rate>    the connection is hard-shut after a
+ *                         plan-determined number of reply frames
+ *  - conn-stall:<rate>    each reply frame is delayed by a
+ *                         plan-determined number of milliseconds
+ *  - partial-write:<rate> reply frames dribble out in tiny
+ *                         plan-determined chunks (never corrupts
+ *                         bytes -- exercises reassembly loops)
+ *
  * Every decision -- whether a stream is afflicted, where the cut lands,
  * which bits flip -- is a pure function of (TRB_FAULT, TRB_FAULT_SEED,
  * stream name, byte position).  No global RNG sequence is consumed, so
@@ -51,8 +64,11 @@ enum class FaultKind : unsigned
     Garbage,
     ShortRead,
     Flaky,
+    ConnReset,
+    ConnStall,
+    PartialWrite,
 };
-constexpr unsigned kNumFaultKinds = 5;
+constexpr unsigned kNumFaultKinds = 8;
 
 /** TRB_FAULT spelling of a kind ("truncate", "short-read", ...). */
 const char *faultKindName(FaultKind kind);
@@ -86,16 +102,27 @@ struct FaultPlan
     bool bitflip = false;
     bool garbage = false;
     bool shortRead = false;
+    bool connReset = false;      //!< hard-shut the wire mid-service
+    bool connStall = false;      //!< delay every outgoing frame
+    bool partialWrite = false;   //!< dribble frames out in tiny chunks
     unsigned transientFailures = 0;   //!< flaky: failures before success
     std::uint64_t seed = 0;           //!< per-stream noise seed
 
     /** Any fault that damages the byte stream itself. */
     bool corrupting() const { return truncate || bitflip || garbage; }
 
+    /** Any connection-scoped (wire) fault. */
+    bool
+    anyConnFault() const
+    {
+        return connReset || connStall || partialWrite;
+    }
+
     bool
     anyFault() const
     {
-        return corrupting() || shortRead || transientFailures > 0;
+        return corrupting() || shortRead || anyConnFault() ||
+               transientFailures > 0;
     }
 
     /** Stream byte offset the truncate fault cuts at (plan-dependent). */
@@ -116,7 +143,24 @@ struct FaultPlan
     /** Apply bitflip/garbage to @p len bytes read at @p offset. */
     void corruptChunk(std::uint8_t *data, std::size_t len,
                       std::uint64_t offset) const;
+
+    /** conn-reset: frames that go out before the wire is cut (1..4). */
+    unsigned connResetAfterFrames() const;
+
+    /** conn-stall: delay in ms before writing frame @p frame (1..16). */
+    unsigned connStallMsFor(std::uint64_t frame) const;
+
+    /** partial-write: chunk size in bytes for frame @p frame (1..7). */
+    std::size_t partialWriteChunkFor(std::uint64_t frame) const;
 };
+
+/**
+ * Deterministic per-name noise: a pure function of (seed, purpose,
+ * name), shared by the injector's affliction draws and the retry
+ * layer's backoff jitter.  Same inputs, same 64-bit value, forever.
+ */
+std::uint64_t streamNoise(std::uint64_t seed, unsigned purpose,
+                          const std::string &name);
 
 /**
  * The process-wide injector: TRB_FAULT / TRB_FAULT_SEED at first use,

@@ -7,6 +7,7 @@
 #include "common/env.hh"
 #include "common/logging.hh"
 #include "obs/metrics.hh"
+#include "resil/fault.hh"
 
 namespace trb
 {
@@ -31,12 +32,25 @@ backoffMs(const RetryPolicy &policy, unsigned n)
     return std::min(delay, policy.maxDelayMs);
 }
 
+unsigned
+backoffMs(const RetryPolicy &policy, const std::string &stream,
+          unsigned n)
+{
+    const unsigned delay = backoffMs(policy, n);
+    if (delay <= 1 || stream.empty())
+        return delay;
+    const unsigned floor = delay / 2;
+    const std::uint64_t noise = streamNoise(0x626f /* "bo" */, n, stream);
+    return floor +
+           static_cast<unsigned>(noise % (delay - floor + 1));
+}
+
 void
 noteRetry(const RetryPolicy &policy, unsigned attempt,
           const std::string &what, const Status &status)
 {
     obs::MetricsRegistry::global().addCounter("resil.retries");
-    unsigned delay = backoffMs(policy, attempt);
+    unsigned delay = backoffMs(policy, what, attempt);
     trb_warn("transient failure on ", what, " (attempt ", attempt, "): ",
              status.toString(), "; retrying in ", delay, " ms");
     std::this_thread::sleep_for(std::chrono::milliseconds(delay));

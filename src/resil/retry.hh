@@ -36,6 +36,17 @@ struct RetryPolicy
 /** Backoff before (1-based) retry @p n under @p policy, in ms. */
 unsigned backoffMs(const RetryPolicy &policy, unsigned n);
 
+/**
+ * Jittered backoff: the plain schedule spread deterministically over
+ * [delay/2, delay] as a pure function of (@p stream, @p n) -- the same
+ * recipe as the fault injector, so it is reproducible and consumes no
+ * RNG state.  Concurrent retriers with distinct stream names (one per
+ * client/connection) desynchronise instead of thundering-herding in
+ * lockstep.  An empty @p stream falls back to the plain schedule.
+ */
+unsigned backoffMs(const RetryPolicy &policy, const std::string &stream,
+                   unsigned n);
+
 /** Sleep and account one retry of @p what (resil.retries counter). */
 void noteRetry(const RetryPolicy &policy, unsigned attempt,
                const std::string &what, const Status &status);

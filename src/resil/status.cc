@@ -27,6 +27,8 @@ errorClassName(ErrorClass cls)
         return "bad_request";
       case ErrorClass::Busy:
         return "busy";
+      case ErrorClass::Timeout:
+        return "timeout";
     }
     return "unknown";
 }
@@ -79,6 +81,12 @@ Status
 Status::busy(std::string msg)
 {
     return Status(ErrorClass::Busy, std::move(msg));
+}
+
+Status
+Status::timeout(std::string msg)
+{
+    return Status(ErrorClass::Timeout, std::move(msg));
 }
 
 std::string

@@ -4,16 +4,18 @@
  *
  * A Status is either OK or one error of a small taxonomy
  * (TruncatedInput, CorruptRecord, IoError, BadMagic, Internal,
- * BadRequest, Busy) carrying rich diagnostics: the offending path, the absolute byte offset, the
+ * BadRequest, Busy, Timeout) carrying rich diagnostics: the offending path, the absolute byte offset, the
  * record index inside the stream, and the format rule that was violated.
  * Expected<T> is the value-or-Status sum type the non-fatal readers
  * return.
  *
  * The taxonomy is deliberately coarse: callers dispatch policy on the
- * class (IoError and Busy are retryable, everything else quarantines)
- * and log the message for humans.  The serving layer (trb::serve) uses
- * the same classes on the wire: BadRequest rejects a malformed request,
- * Busy is the typed backpressure reply a client backs off from.  Every constructed error also bumps the
+ * class (IoError, Busy and Timeout are retryable, everything else
+ * quarantines) and log the message for humans.  The serving layer
+ * (trb::serve) uses the same classes on the wire: BadRequest rejects a
+ * malformed request, Busy is the typed backpressure reply a client
+ * backs off from, Timeout answers a request whose deadline expired or
+ * whose simulation was cancelled.  Every constructed error also bumps the
  * resil.errors.<class> counter in the global metrics registry, so a
  * sweep's failure profile lands in the standard TRB_OBS_JSON export.
  */
@@ -41,6 +43,7 @@ enum class ErrorClass : std::uint8_t
     Internal,         //!< a TraceRebase bug surfaced as data
     BadRequest,       //!< a malformed/unsupported request (trb::serve)
     Busy,             //!< bounded queue full; back off and resubmit
+    Timeout,          //!< deadline expired / work cancelled (retryable)
 };
 
 /** Stable lower-case name of an error class ("truncated_input", ...). */
@@ -70,6 +73,7 @@ class Status
     static Status internal(std::string msg);
     static Status badRequest(std::string msg);
     static Status busy(std::string msg);
+    static Status timeout(std::string msg);
 
     /** Attach the offending file and position. */
     Status &
@@ -100,12 +104,14 @@ class Status
     std::uint64_t recordIndex() const { return recordIndex_; }
     const std::string &ruleViolated() const { return rule_; }
 
-    /** Retryable errors: transient I/O or an overloaded server -- the
-     *  condition clears on its own; resubmitting is correct. */
+    /** Retryable errors: transient I/O, an overloaded server, or an
+     *  expired deadline -- the condition clears on its own (or a fresh
+     *  deadline applies); resubmitting is correct. */
     bool
     retryable() const
     {
-        return cls_ == ErrorClass::IoError || cls_ == ErrorClass::Busy;
+        return cls_ == ErrorClass::IoError ||
+               cls_ == ErrorClass::Busy || cls_ == ErrorClass::Timeout;
     }
 
     /**

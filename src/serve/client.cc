@@ -5,9 +5,13 @@
 #include <cstring>
 #include <thread>
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+#include "resil/retry.hh"
 
 namespace trb
 {
@@ -15,17 +19,15 @@ namespace serve
 {
 
 Status
-ServeClient::connect(const std::string &socketPath)
+ServeClient::connect(const std::string &socketPath, unsigned timeoutMs)
 {
     close();
 
+    if (Status st = validateSocketPath(socketPath); !st.ok())
+        return st.at(socketPath);
+
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
-    if (socketPath.size() >= sizeof(addr.sun_path))
-        return Status::ioError("socket path longer than sun_path (" +
-                               socketPath + ")")
-            .at(socketPath)
-            .rule("serve.socket");
     std::strncpy(addr.sun_path, socketPath.c_str(),
                  sizeof(addr.sun_path) - 1);
 
@@ -34,8 +36,27 @@ ServeClient::connect(const std::string &socketPath)
         return Status::ioError(std::string("socket: ") +
                                std::strerror(errno))
             .rule("serve.socket");
-    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
-                  sizeof(addr)) != 0) {
+
+    if (timeoutMs == 0) {
+        if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof(addr)) != 0) {
+            Status st = Status::ioError(std::string("connect: ") +
+                                        std::strerror(errno))
+                            .at(socketPath)
+                            .rule("serve.socket");
+            close();
+            return st;
+        }
+        return Status{};
+    }
+
+    // Bounded connect: non-blocking connect, poll for completion, read
+    // the verdict out of SO_ERROR, then restore blocking mode.
+    const int flags = ::fcntl(fd_, F_GETFL, 0);
+    ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+    int rc = ::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                       sizeof(addr));
+    if (rc != 0 && errno != EINPROGRESS && errno != EAGAIN) {
         Status st = Status::ioError(std::string("connect: ") +
                                     std::strerror(errno))
                         .at(socketPath)
@@ -43,6 +64,31 @@ ServeClient::connect(const std::string &socketPath)
         close();
         return st;
     }
+    if (rc != 0) {
+        struct pollfd p = {fd_, POLLOUT, 0};
+        int r = ::poll(&p, 1, static_cast<int>(timeoutMs));
+        if (r == 0) {
+            close();
+            return Status::timeout("connect not complete after " +
+                                   std::to_string(timeoutMs) + " ms")
+                .at(socketPath)
+                .rule("serve.connect");
+        }
+        int err = 0;
+        socklen_t len = sizeof(err);
+        if (r < 0 ||
+            ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &err, &len) != 0 ||
+            err != 0) {
+            Status st = Status::ioError(
+                            std::string("connect: ") +
+                            std::strerror(err ? err : errno))
+                            .at(socketPath)
+                            .rule("serve.socket");
+            close();
+            return st;
+        }
+    }
+    ::fcntl(fd_, F_SETFL, flags);
     return Status{};
 }
 
@@ -86,7 +132,9 @@ Status
 ServeClient::callRetryBusy(const ServeRequest &req, ServeReply &reply,
                            int attempts)
 {
-    int delayMs = 1;
+    resil::RetryPolicy policy;
+    policy.maxAttempts = attempts < 1 ? 1u
+                                      : static_cast<unsigned>(attempts);
     for (int attempt = 1;; ++attempt) {
         if (Status st = call(req, reply); !st.ok())
             return st;
@@ -94,9 +142,11 @@ ServeClient::callRetryBusy(const ServeRequest &req, ServeReply &reply,
             reply.error.errorClass() != ErrorClass::Busy ||
             attempt >= attempts)
             return Status{};
-        std::this_thread::sleep_for(
-            std::chrono::milliseconds(delayMs));
-        delayMs = delayMs >= 100 ? 100 : delayMs * 2;
+        // An empty retry key keeps the exact doubling schedule; a set
+        // one jitters each delay deterministically per key.
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            resil::backoffMs(policy, retryKey_,
+                             static_cast<unsigned>(attempt))));
     }
 }
 

@@ -38,8 +38,14 @@ class ServeClient
     ServeClient(const ServeClient &) = delete;
     ServeClient &operator=(const ServeClient &) = delete;
 
-    /** Connect to @p socketPath.  IoError (with errno text) on failure. */
-    Status connect(const std::string &socketPath);
+    /**
+     * Connect to @p socketPath.  BadRequest (rule "serve.socket-path")
+     * for a path that cannot fit sun_path, IoError (with errno text)
+     * on socket failures, Timeout when @p timeoutMs > 0 and the
+     * connection is not established in time (0 blocks indefinitely).
+     */
+    Status connect(const std::string &socketPath,
+                   unsigned timeoutMs = 0);
 
     /** Hang up; harmless when not connected. */
     void close();
@@ -61,9 +67,18 @@ class ServeClient
      * call() that retries on a `busy` reply with doubling backoff
      * (1 ms, 2 ms, ... capped at 100 ms), up to @p attempts sends.
      * Still OK + reply.ok == false if the last attempt was busy too.
+     * With a retry key set, each delay is deterministically jittered.
      */
     Status callRetryBusy(const ServeRequest &req, ServeReply &reply,
                          int attempts = 10);
+
+    /**
+     * Stream name keyed into resil::backoffMs' deterministic jitter so
+     * a herd of clients rejected together does not retry in lockstep.
+     * Empty (the default) keeps the plain doubling schedule; callers
+     * pick something client-unique (trace_client uses its pid).
+     */
+    void setRetryKey(std::string key) { retryKey_ = std::move(key); }
 
     /** @name Conveniences for the common ops @{ */
     Status ping(ServeReply &reply);
@@ -72,6 +87,7 @@ class ServeClient
 
   private:
     int fd_ = -1;
+    std::string retryKey_;
 };
 
 } // namespace serve

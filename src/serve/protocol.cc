@@ -1,11 +1,16 @@
 #include "serve/protocol.hh"
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <thread>
 
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include "obs/metrics.hh"
@@ -26,10 +31,30 @@ namespace
  * not kill the daemon); plain fds (test pipes) fall back to write().
  */
 Status
-writeAll(int fd, const char *data, std::size_t size)
+writeAll(int fd, const char *data, std::size_t size,
+         unsigned timeoutMs = 0)
 {
     std::size_t done = 0;
     while (done < size) {
+        if (timeoutMs > 0) {
+            // Bound write readiness, not the syscall: writes are
+            // serialised per connection, so a ready socket accepts at
+            // least one byte without blocking.
+            struct pollfd p = {fd, POLLOUT, 0};
+            int r = ::poll(&p, 1, static_cast<int>(timeoutMs));
+            if (r == 0)
+                return Status::timeout(
+                           "peer not accepting writes after " +
+                           std::to_string(timeoutMs) + " ms")
+                    .rule("serve.write");
+            if (r < 0) {
+                if (errno == EINTR)
+                    continue;
+                return Status::ioError(std::string("poll: ") +
+                                       std::strerror(errno))
+                    .rule("serve.io");
+            }
+        }
         ssize_t n = ::send(fd, data + done, size - done, MSG_NOSIGNAL);
         if (n < 0 && errno == ENOTSOCK)
             n = ::write(fd, data + done, size - done);
@@ -112,6 +137,12 @@ opName(Op op)
 Status
 writeFrame(int fd, const std::string &payload)
 {
+    return writeFrame(fd, payload, WriteOptions{});
+}
+
+Status
+writeFrame(int fd, const std::string &payload, const WriteOptions &opts)
+{
     if (payload.size() > kMaxFrameBytes)
         return Status::internal("frame payload exceeds kMaxFrameBytes")
             .rule("serve.frame-size");
@@ -119,7 +150,51 @@ writeFrame(int fd, const std::string &payload)
     frame += '\n';
     frame += payload;
     frame += '\n';
-    return writeAll(fd, frame.data(), frame.size());
+
+    const resil::FaultPlan *chaos =
+        (opts.chaos && opts.chaos->anyConnFault()) ? opts.chaos : nullptr;
+    if (!chaos)
+        return writeAll(fd, frame.data(), frame.size(), opts.timeoutMs);
+
+    if (chaos->connReset &&
+        opts.frameIndex >= chaos->connResetAfterFrames()) {
+        // A hard shutdown -- not close() -- so the owner's fd number
+        // stays valid until its normal teardown path runs.
+        ::shutdown(fd, SHUT_RDWR);
+        return Status::ioError("injected conn-reset")
+            .rule("serve.chaos");
+    }
+    if (chaos->connStall)
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            chaos->connStallMsFor(opts.frameIndex)));
+    std::size_t chunk = frame.size();
+    if (chaos->partialWrite)
+        chunk = chaos->partialWriteChunkFor(opts.frameIndex);
+    for (std::size_t done = 0; done < frame.size();) {
+        std::size_t n = std::min(chunk, frame.size() - done);
+        if (Status st = writeAll(fd, frame.data() + done, n,
+                                 opts.timeoutMs);
+            !st.ok())
+            return st;
+        done += n;
+    }
+    return Status{};
+}
+
+Status
+validateSocketPath(const std::string &path)
+{
+    constexpr std::size_t cap = sizeof(sockaddr_un{}.sun_path) - 1;
+    if (path.empty())
+        return Status::badRequest("socket path is empty")
+            .rule("serve.socket-path");
+    if (path.size() > cap)
+        return Status::badRequest(
+                   "socket path is " + std::to_string(path.size()) +
+                   " bytes; sun_path holds at most " +
+                   std::to_string(cap))
+            .rule("serve.socket-path");
+    return Status{};
 }
 
 Status
@@ -243,6 +318,15 @@ parseRequest(const std::string &json, ServeRequest &out)
             .rule("serve.warmup");
 
     out.useStore = doc.number("use_store", 1.0) != 0.0;
+
+    double deadline = doc.number("deadline_ms", 0.0);
+    if (deadline < 0 || deadline > 1e9 ||
+        deadline != static_cast<double>(
+                        static_cast<std::uint64_t>(deadline)))
+        return Status::badRequest(
+                   "\"deadline_ms\" must be an integer in [0, 1e9]")
+            .rule("serve.deadline");
+    out.deadlineMs = static_cast<std::uint64_t>(deadline);
     return Status{};
 }
 
@@ -262,6 +346,8 @@ requestJson(const ServeRequest &req)
         s += ", \"warmup_fraction\": " + jsonNumber(req.warmupFraction);
         s += ", \"use_store\": ";
         s += req.useStore ? "true" : "false";
+        if (req.deadlineMs > 0)
+            s += ", \"deadline_ms\": " + std::to_string(req.deadlineMs);
     }
     s += "}";
     return s;
@@ -417,7 +503,8 @@ statsReplyJson(const std::string &id, double uptimeSeconds,
 {
     auto servedPath = [](const std::string &path) {
         return path.rfind("serve.", 0) == 0 ||
-               path.rfind("store.", 0) == 0;
+               path.rfind("store.", 0) == 0 ||
+               path.rfind("resil.", 0) == 0;
     };
     obs::MetricsRegistry::Snapshot snap =
         obs::MetricsRegistry::global().snapshot();
@@ -477,6 +564,8 @@ statusFromWire(const std::string &cls, const std::string &message,
         st = Status::badRequest(message);
     else if (cls == "busy")
         st = Status::busy(message);
+    else if (cls == "timeout")
+        st = Status::timeout(message);
     else
         st = Status::internal(message);
     if (!rule.empty())

@@ -38,6 +38,7 @@
 #include "common/json.hh"
 #include "convert/improvements.hh"
 #include "pipeline/sim_stats.hh"
+#include "resil/fault.hh"
 #include "resil/status.hh"
 #include "sim/simulator.hh"
 #include "trace/cvp_trace.hh"
@@ -64,9 +65,49 @@ constexpr std::size_t kMaxFrameBytes = 4u << 20;
 Status writeFrame(int fd, const std::string &payload);
 Status readFrame(int fd, std::string &payload);
 
+/** Knobs for the daemon-side frame writer. */
+struct WriteOptions
+{
+    /**
+     * Per-write readiness bound in ms (poll-based): a peer that stops
+     * draining its socket for this long turns the write into a typed
+     * Timeout (rule "serve.write") instead of blocking a worker
+     * forever.  0 blocks indefinitely (the plain writeFrame()).
+     */
+    unsigned timeoutMs = 0;
+
+    /**
+     * Connection-scoped fault plan (conn-reset / conn-stall /
+     * partial-write), or nullptr for a clean wire.  Not owned; must
+     * outlive the call.
+     */
+    const resil::FaultPlan *chaos = nullptr;
+
+    /** 0-based index of this frame on its connection (chaos keying). */
+    std::uint64_t frameIndex = 0;
+};
+
+/**
+ * writeFrame() with write-readiness bounding and deterministic
+ * connection chaos.  An injected conn-reset hard-shuts @p fd and
+ * reports IoError (rule "serve.chaos"); conn-stall delays the write;
+ * partial-write dribbles the frame out in plan-determined chunks
+ * (bytes are never corrupted).
+ */
+Status writeFrame(int fd, const std::string &payload,
+                  const WriteOptions &opts);
+
 /** True if @p st is readFrame()'s clean-close condition. */
 bool isCleanClose(const Status &st);
 /** @} */
+
+/**
+ * Typed check that @p path fits sockaddr_un::sun_path (about 107
+ * bytes): BadRequest with rule "serve.socket-path" when it does not,
+ * instead of the silent truncation strncpy would give.  Shared by the
+ * daemon (ServeConfig::validate) and the client's connect().
+ */
+Status validateSocketPath(const std::string &path);
 
 /** Request operations. */
 enum class Op : std::uint8_t
@@ -109,6 +150,14 @@ struct ServeRequest
 
     /** Consult/fill the artifact store for this request. */
     bool useStore = true;
+
+    /**
+     * Client deadline in milliseconds from admission (op "sim" only);
+     * 0 means unbounded.  A request still queued past its deadline is
+     * answered with a typed `timeout` reply without burning a worker;
+     * an in-flight one is cancelled and answered `timeout`.
+     */
+    std::uint64_t deadlineMs = 0;
 };
 
 /**
@@ -175,8 +224,9 @@ std::string simReplyJson(const std::string &id, const SimResult &result,
                          std::uint64_t seq);
 
 /**
- * Stats reply: every "serve." / "store." counter and gauge of the
- * global metrics registry plus uptime and the serving configuration.
+ * Stats reply: every "serve." / "store." / "resil." counter and gauge
+ * of the global metrics registry plus uptime and the serving
+ * configuration.
  */
 std::string statsReplyJson(const std::string &id, double uptimeSeconds,
                            std::size_t jobs, std::size_t queueBound,

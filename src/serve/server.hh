@@ -21,6 +21,28 @@
  * daemon adds scheduling, never semantics.  Progress is visible as
  * serve.* counters/gauges in the global metrics registry (and over the
  * wire via the stats op).  docs/serving.md is the operator manual.
+ *
+ * Hostile time.  A fourth thread -- the watchdog -- makes the daemon
+ * survive clients that are slow, dead or deadline-bound:
+ *
+ *  - a request carrying deadline_ms is answered with a typed `timeout`
+ *    once the deadline passes: still-queued work is rejected at
+ *    dispatch without burning a worker; in-flight work is cancelled
+ *    cooperatively through resil::CancelToken (the core model polls
+ *    every O3Core::kCancelPollInterval retired records);
+ *  - replies are written with a poll-bounded readiness timeout
+ *    (TRB_SERVE_WRITE_MS), so one peer that stops draining its socket
+ *    cannot wedge a worker; the connection is declared dead and its
+ *    in-flight work cancelled;
+ *  - the watchdog (every TRB_SERVE_WATCHDOG_MS) fires expired
+ *    deadlines, reaps peers that vanished behind a half-closed stream
+ *    (POLLHUP), exports the oldest in-flight age as the
+ *    serve.inflight_age_ms gauge, and logs/counts stuck requests.
+ *
+ * Under a configured resil::FaultInjector, connection-scoped fault
+ * kinds (conn-reset / conn-stall / partial-write, keyed by the
+ * "conn-<n>" lane name) are applied to outgoing frames -- the chaos
+ * harness the soak tests drive.
  */
 
 #ifndef TRB_SERVE_SERVER_HH
@@ -31,12 +53,15 @@
 #include <condition_variable>
 #include <cstdint>
 #include <list>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 
 #include "par/thread_pool.hh"
+#include "resil/cancel.hh"
+#include "resil/fault.hh"
 #include "resil/status.hh"
 #include "serve/protocol.hh"
 #include "serve/queue.hh"
@@ -61,7 +86,22 @@ struct ServeConfig
     /** Concurrently dispatched sims; 0 means the pool's job count. */
     std::size_t maxInflight = 0;
 
-    /** TRB_SERVE_SOCKET / TRB_SERVE_QUEUE / TRB_SERVE_QUANTUM. */
+    /** Watchdog period in ms; 0 disables the watchdog thread. */
+    std::uint64_t watchdogMs = 50;
+
+    /** Per-write peer-readiness bound in ms; 0 blocks indefinitely. */
+    std::uint64_t writeTimeoutMs = 5000;
+
+    /**
+     * Typed configuration check (today: the socket path must fit
+     * sun_path).  start() refuses an invalid config with this Status.
+     */
+    Status validate() const;
+
+    /**
+     * TRB_SERVE_SOCKET / TRB_SERVE_QUEUE / TRB_SERVE_QUANTUM /
+     * TRB_SERVE_WATCHDOG_MS / TRB_SERVE_WRITE_MS.
+     */
     static ServeConfig fromEnv();
 };
 
@@ -116,6 +156,11 @@ class ServeDaemon
         std::mutex writeMutex;             //!< reader + pool replies
         std::atomic<int> pendingJobs{0};   //!< queued or inflight sims
         std::atomic<bool> done{false};     //!< reader thread exited
+        std::atomic<bool> dead{false};     //!< peer unreachable: no
+                                           //!< more writes, cancel work
+        std::uint64_t framesWritten = 0;   //!< guarded by writeMutex
+        resil::FaultPlan chaos;            //!< resolved once at accept
+        bool chaosOn = false;              //!< chaos has a conn fault
         std::thread reader;
     };
 
@@ -124,13 +169,33 @@ class ServeDaemon
     {
         Conn *conn = nullptr;
         ServeRequest req;
+        std::shared_ptr<resil::CancelToken> token;
+        resil::Deadline deadline;   //!< armed at admission
+    };
+
+    /** Watchdog's view of one dispatched sim, keyed by seq. */
+    struct Inflight
+    {
+        Conn *conn = nullptr;
+        std::string id;
+        std::chrono::steady_clock::time_point started;
+        resil::Deadline deadline;
+        std::shared_ptr<resil::CancelToken> token;
+        bool stuckLogged = false;
     };
 
     void acceptLoop();
     void readerLoop(Conn *conn);
     void dispatchLoop();
-    void runSim(Job job, std::uint64_t seq);
+    void watchdogLoop();
+    void tickWatchdog();
+    void runSim(std::shared_ptr<Job> job, std::uint64_t seq);
+    void cancelledBeforeStart(const std::shared_ptr<Job> &job,
+                              std::uint64_t seq);
+    void finishJob(const std::shared_ptr<Job> &job, std::uint64_t seq,
+                   const std::string &reply);
     void sendReply(Conn *conn, const std::string &payload);
+    void cancelConnInflight(Conn *conn, const std::string &why);
     void reapFinishedConns();
 
     ServeConfig cfg_;
@@ -144,6 +209,7 @@ class ServeDaemon
 
     std::thread acceptThread_;
     std::thread dispatchThread_;
+    std::thread watchdogThread_;
 
     std::mutex connsMutex_;
     std::list<std::unique_ptr<Conn>> conns_;
@@ -155,6 +221,16 @@ class ServeDaemon
     std::atomic<std::size_t> inflight_{0};
     std::atomic<std::uint64_t> seq_{0};
     std::atomic<std::uint64_t> served_{0};
+
+    // Lock order where both are held: conn->writeMutex, then
+    // inflightMutex_ (sendReply's failure path cancels the
+    // connection's in-flight work).  Nothing takes writeMutex while
+    // holding inflightMutex_; the watchdog fires tokens outside it.
+    std::mutex inflightMutex_;
+    std::map<std::uint64_t, Inflight> inflightMap_;
+
+    std::mutex watchdogMutex_;
+    std::condition_variable watchdogCv_;
 };
 
 } // namespace serve

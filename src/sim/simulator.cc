@@ -129,6 +129,7 @@ runCore(ChampSimView trace, const SimRequest &req)
     obs::ScopeTimer timer("simulate");
     timer.setItems(trace.size());
     O3Core core(req.params, req.ipref);
+    core.setCancelToken(req.cancel);
     auto warmup = static_cast<std::uint64_t>(
         req.warmupFraction * static_cast<double>(trace.size()));
     return core.run(trace, warmup);

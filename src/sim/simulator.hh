@@ -48,6 +48,7 @@
 #include "pipeline/core_params.hh"
 #include "pipeline/o3core.hh"
 #include "pipeline/sim_stats.hh"
+#include "resil/cancel.hh"
 #include "store/store.hh"
 #include "trace/cvp_trace.hh"
 
@@ -107,6 +108,16 @@ struct SimRequest
      * simulate() digests the trace itself when a store is active.
      */
     const store::Digest *cvpDigest = nullptr;
+
+    /**
+     * Optional cooperative cancellation token, polled by the core
+     * model's hot loop (see O3Core::setCancelToken).  A fired token
+     * aborts the run by throwing resil::CancelledError; no partial
+     * result is returned or memoized.  Deliberately absent from the
+     * store key: cancellation changes whether a result arrives, never
+     * what it is.
+     */
+    const resil::CancelToken *cancel = nullptr;
 };
 
 /** A simulation result plus where its pieces came from. */

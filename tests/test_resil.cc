@@ -21,6 +21,7 @@
 
 #include "experiments/experiment.hh"
 #include "obs/metrics.hh"
+#include "resil/cancel.hh"
 #include "resil/checkpoint.hh"
 #include "resil/fault.hh"
 #include "resil/gz_stream.hh"
@@ -378,6 +379,141 @@ TEST(Retry, NonRetryableFailsImmediately)
     EXPECT_EQ(resil::backoffMs(policy, 2), 2u);
     EXPECT_EQ(resil::backoffMs(policy, 3), 4u);
     EXPECT_EQ(resil::backoffMs(policy, 20), policy.maxDelayMs);
+}
+
+TEST(Retry, JitteredBackoffIsDeterministicPerStream)
+{
+    resil::RetryPolicy policy;
+
+    // An empty stream keeps the exact plain schedule.
+    for (unsigned n = 1; n <= 20; ++n)
+        EXPECT_EQ(resil::backoffMs(policy, "", n),
+                  resil::backoffMs(policy, n));
+
+    // Jitter is a pure function of (stream, attempt): same inputs,
+    // same delay, every time.
+    for (unsigned n = 1; n <= 20; ++n)
+        EXPECT_EQ(resil::backoffMs(policy, "worker-1", n),
+                  resil::backoffMs(policy, "worker-1", n));
+
+    // Always within [delay/2, delay] of the plain schedule.
+    for (unsigned n = 2; n <= 20; ++n) {
+        const unsigned plain = resil::backoffMs(policy, n);
+        const unsigned jittered =
+            resil::backoffMs(policy, "worker-1", n);
+        EXPECT_GE(jittered, plain / 2) << "attempt " << n;
+        EXPECT_LE(jittered, plain) << "attempt " << n;
+    }
+
+    // Distinct streams draw distinct schedules (no retry lockstep):
+    // over attempts 3..20 at least one delay must differ.
+    bool diverged = false;
+    for (unsigned n = 3; n <= 20 && !diverged; ++n)
+        diverged = resil::backoffMs(policy, "worker-1", n) !=
+                   resil::backoffMs(policy, "worker-2", n);
+    EXPECT_TRUE(diverged);
+}
+
+TEST(Status, TimeoutClassIsRetryableAndNamed)
+{
+    Status st = Status::timeout("deadline of 5 ms expired");
+    EXPECT_EQ(st.errorClass(), ErrorClass::Timeout);
+    EXPECT_TRUE(st.retryable());
+    EXPECT_STREQ(errorClassName(ErrorClass::Timeout), "timeout");
+    EXPECT_NE(st.toString().find("timeout"), std::string::npos);
+
+    auto &reg = obs::MetricsRegistry::global();
+    std::uint64_t before = reg.counterValue("resil.errors.timeout");
+    Status again = Status::timeout("again");
+    EXPECT_FALSE(again.ok());
+    EXPECT_EQ(reg.counterValue("resil.errors.timeout"), before + 1);
+}
+
+TEST(Cancel, TokenLatchesOnceAndDeadlineUsesSteadyClock)
+{
+    resil::CancelToken token;
+    EXPECT_FALSE(token.cancelled());
+    EXPECT_NO_THROW(token.throwIfCancelled());
+
+    token.cancel("first reason");
+    token.cancel("second reason");   // first reason wins
+    EXPECT_TRUE(token.cancelled());
+    EXPECT_EQ(token.reason(), "first reason");
+    EXPECT_TRUE(token.flag().load());
+    try {
+        token.throwIfCancelled();
+        FAIL() << "throwIfCancelled did not throw";
+    } catch (const resil::CancelledError &e) {
+        EXPECT_STREQ(e.what(), "first reason");
+    }
+
+    resil::Deadline none;
+    EXPECT_FALSE(none.valid());
+    EXPECT_FALSE(none.expired());
+    EXPECT_GT(none.remainingMs(), 1'000'000'000);
+
+    resil::Deadline soon = resil::Deadline::after(0);
+    EXPECT_TRUE(soon.valid());
+    EXPECT_TRUE(soon.expired());
+    EXPECT_EQ(soon.remainingMs(), 0);
+
+    resil::Deadline later = resil::Deadline::after(60'000);
+    EXPECT_TRUE(later.valid());
+    EXPECT_FALSE(later.expired());
+    EXPECT_GT(later.remainingMs(), 0);
+    EXPECT_LE(later.remainingMs(), 60'000);
+}
+
+TEST(FaultPlan, ConnFaultKindsResolveDeterministically)
+{
+    InjectorGuard guard;
+    auto &injector = resil::FaultInjector::global();
+    auto spec = resil::FaultSpec::parse(
+        "conn-reset:0.5,conn-stall:0.5,partial-write:0.5");
+    ASSERT_TRUE(spec.ok()) << spec.status().toString();
+    injector.configure(spec.value(), 42);
+
+    // Conn kinds never damage trace byte streams.
+    resil::FaultPlan tracePlan = injector.plan("some-trace.cvp.gz");
+    EXPECT_FALSE(tracePlan.corrupting());
+    EXPECT_FALSE(tracePlan.shortRead);
+
+    // Deterministic per lane name, with both afflicted and spared
+    // lanes at rate 0.5 over 64 names.
+    unsigned afflicted = 0;
+    for (int i = 0; i < 64; ++i) {
+        const std::string lane = "conn-" + std::to_string(i + 1);
+        resil::FaultPlan a = injector.plan(lane);
+        resil::FaultPlan b = injector.plan(lane);
+        EXPECT_EQ(a.connReset, b.connReset);
+        EXPECT_EQ(a.connStall, b.connStall);
+        EXPECT_EQ(a.partialWrite, b.partialWrite);
+        EXPECT_EQ(a.anyConnFault(), b.anyConnFault());
+        if (a.anyConnFault())
+            ++afflicted;
+        // Parameters stay in their documented ranges and are stable.
+        if (a.connReset) {
+            EXPECT_GE(a.connResetAfterFrames(), 1u);
+            EXPECT_LE(a.connResetAfterFrames(), 4u);
+            EXPECT_EQ(a.connResetAfterFrames(),
+                      b.connResetAfterFrames());
+        }
+        if (a.connStall)
+            for (std::uint64_t f = 0; f < 4; ++f) {
+                EXPECT_GE(a.connStallMsFor(f), 1u);
+                EXPECT_LE(a.connStallMsFor(f), 16u);
+                EXPECT_EQ(a.connStallMsFor(f), b.connStallMsFor(f));
+            }
+        if (a.partialWrite)
+            for (std::uint64_t f = 0; f < 4; ++f) {
+                EXPECT_GE(a.partialWriteChunkFor(f), 1u);
+                EXPECT_LE(a.partialWriteChunkFor(f), 7u);
+                EXPECT_EQ(a.partialWriteChunkFor(f),
+                          b.partialWriteChunkFor(f));
+            }
+    }
+    EXPECT_GT(afflicted, 8u);
+    EXPECT_LT(afflicted, 64u);
 }
 
 TEST(FailureReport, JsonAndSummary)

@@ -12,10 +12,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <iterator>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <thread>
@@ -26,6 +28,7 @@
 #include <unistd.h>
 
 #include "obs/metrics.hh"
+#include "resil/fault.hh"
 #include "serve/client.hh"
 #include "serve/protocol.hh"
 #include "serve/queue.hh"
@@ -230,6 +233,65 @@ TEST(ServeProtocol, RejectsMalformedRequestsWithTypedErrors)
         EXPECT_EQ(ErrorClass::BadRequest, st.errorClass()) << c.json;
         EXPECT_EQ(c.rule, st.ruleViolated()) << c.json;
     }
+}
+
+TEST(ServeProtocol, DeadlineRoundTripsAndRejectsGarbage)
+{
+    ServeRequest req;
+    req.op = Op::Sim;
+    req.trace = "preset:int:5";
+    req.deadlineMs = 750;
+    std::string doc = serve::requestJson(req);
+    EXPECT_NE(doc.find("\"deadline_ms\""), std::string::npos);
+    ServeRequest back;
+    ASSERT_TRUE(serve::parseRequest(doc, back).ok());
+    EXPECT_EQ(std::uint64_t{750}, back.deadlineMs);
+
+    // Zero means unbounded, is the default, and stays off the wire.
+    req.deadlineMs = 0;
+    EXPECT_EQ(serve::requestJson(req).find("deadline_ms"),
+              std::string::npos);
+    ServeRequest none;
+    ASSERT_TRUE(serve::parseRequest(
+                    "{\"op\": \"sim\", \"trace\": \"preset:int:5\"}",
+                    none)
+                    .ok());
+    EXPECT_EQ(std::uint64_t{0}, none.deadlineMs);
+
+    const char *bad[] = {
+        "{\"op\": \"sim\", \"trace\": \"preset:int:5\", "
+        "\"deadline_ms\": -1}",
+        "{\"op\": \"sim\", \"trace\": \"preset:int:5\", "
+        "\"deadline_ms\": 1.5}",
+        "{\"op\": \"sim\", \"trace\": \"preset:int:5\", "
+        "\"deadline_ms\": 2000000000}",
+    };
+    for (const char *doc2 : bad) {
+        ServeRequest r;
+        Status st = serve::parseRequest(doc2, r);
+        ASSERT_FALSE(st.ok()) << doc2;
+        EXPECT_EQ(ErrorClass::BadRequest, st.errorClass()) << doc2;
+        EXPECT_EQ("serve.deadline", st.ruleViolated()) << doc2;
+    }
+}
+
+TEST(ServeProtocol, ValidateSocketPathTypesTheFailure)
+{
+    EXPECT_TRUE(serve::validateSocketPath("/tmp/ok.sock").ok());
+
+    for (const std::string &path :
+         {std::string(), std::string(300, 'p')}) {
+        Status st = serve::validateSocketPath(path);
+        ASSERT_FALSE(st.ok()) << path.size();
+        EXPECT_EQ(ErrorClass::BadRequest, st.errorClass());
+        EXPECT_EQ("serve.socket-path", st.ruleViolated());
+    }
+
+    // The boundary: sun_path must hold the path plus its NUL.
+    const std::size_t cap = sizeof(sockaddr_un{}.sun_path) - 1;
+    EXPECT_TRUE(serve::validateSocketPath(std::string(cap, 'p')).ok());
+    EXPECT_FALSE(
+        serve::validateSocketPath(std::string(cap + 1, 'p')).ok());
 }
 
 TEST(ServeProtocol, ResolveTraceRejectsUnknownSpecs)
@@ -672,6 +734,160 @@ TEST_F(ServeDaemonTest, StopDrainsQueuedRequestsWithTypedBusy)
 }
 
 // ---------------------------------------------------------------------
+// Hostile time: deadlines, cancellation, dead clients
+// ---------------------------------------------------------------------
+
+TEST_F(ServeDaemonTest, StartRejectsOversizedSocketPathTyped)
+{
+    ServeConfig cfg = config();
+    cfg.socketPath = "/tmp/" + std::string(200, 'x') + ".sock";
+    par::ThreadPool pool(1);
+    ServeDaemon daemon(cfg, &pool);
+    Status st = daemon.start();
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(ErrorClass::BadRequest, st.errorClass());
+    EXPECT_EQ("serve.socket-path", st.ruleViolated());
+    daemon.stop();   // must be a harmless no-op after a failed start
+}
+
+TEST_F(ServeDaemonTest, QueuedPastDeadlineGetsTypedTimeout)
+{
+    ServeConfig cfg = config();
+    cfg.maxInflight = 1;
+    cfg.watchdogMs = 10;
+    par::ThreadPool pool(2);
+    ServeDaemon daemon(cfg, &pool);
+    ASSERT_TRUE(daemon.start().ok());
+
+    const std::uint64_t timedBefore = counter("serve.timeout.queued") +
+                                      counter("serve.timeout.cancelled");
+
+    ServeClient client;
+    ASSERT_TRUE(client.connect(socketPath_).ok());
+
+    // The first request holds the single inflight slot for tens of
+    // milliseconds...
+    ServeRequest slow;
+    slow.op = Op::Sim;
+    slow.trace = "preset:int:9";
+    slow.length = 20000;
+    slow.useStore = false;
+    slow.id = "slow";
+    ASSERT_TRUE(client.send(slow).ok());
+
+    // ...so the 1 ms deadline on the second expires while it queues,
+    // and the daemon must answer it typed without simulating anything.
+    ServeRequest doomed = slow;
+    doomed.id = "doomed";
+    doomed.deadlineMs = 1;
+    ASSERT_TRUE(client.send(doomed).ok());
+
+    std::map<std::string, ServeReply> replies;
+    for (int i = 0; i < 2; ++i) {
+        ServeReply r;
+        ASSERT_TRUE(client.recv(r).ok());
+        replies[r.id] = r;
+    }
+    ASSERT_EQ(2u, replies.size());
+    EXPECT_TRUE(replies["slow"].ok)
+        << replies["slow"].error.toString();
+    const ServeReply &timedOut = replies["doomed"];
+    ASSERT_FALSE(timedOut.ok);
+    EXPECT_EQ(ErrorClass::Timeout, timedOut.error.errorClass());
+    EXPECT_TRUE(timedOut.error.retryable());
+    EXPECT_GE(counter("serve.timeout.queued") +
+                  counter("serve.timeout.cancelled"),
+              timedBefore + 1);
+    daemon.stop();
+}
+
+TEST_F(ServeDaemonTest, InflightPastDeadlineIsCancelledMidSim)
+{
+    ServeConfig cfg = config();
+    cfg.watchdogMs = 5;
+    par::ThreadPool pool(2);
+    ServeDaemon daemon(cfg, &pool);
+    ASSERT_TRUE(daemon.start().ok());
+
+    const std::uint64_t timedBefore = counter("serve.timeout.queued") +
+                                      counter("serve.timeout.cancelled");
+
+    // Hundreds of milliseconds of work against a 1 ms budget: the
+    // watchdog fires the token and the core's poll aborts the run --
+    // the reply must arrive in watchdog time, not simulation time.
+    ServeClient client;
+    ASSERT_TRUE(client.connect(socketPath_).ok());
+    ServeRequest req;
+    req.op = Op::Sim;
+    req.trace = "preset:server:4";
+    req.length = 500000;
+    req.useStore = false;
+    req.deadlineMs = 1;
+    req.id = "doomed";
+    ServeReply reply;
+    ASSERT_TRUE(client.call(req, reply).ok());
+    ASSERT_FALSE(reply.ok);
+    EXPECT_EQ(ErrorClass::Timeout, reply.error.errorClass());
+    EXPECT_TRUE(reply.error.retryable());
+    EXPECT_GE(counter("serve.timeout.queued") +
+                  counter("serve.timeout.cancelled"),
+              timedBefore + 1);
+    daemon.stop();
+}
+
+TEST_F(ServeDaemonTest, DeadClientIsReapedAndInflightCancelled)
+{
+    ServeConfig cfg = config();
+    cfg.watchdogMs = 10;
+    par::ThreadPool pool(2);
+    ServeDaemon daemon(cfg, &pool);
+    ASSERT_TRUE(daemon.start().ok());
+
+    const std::uint64_t reapedBefore = counter("serve.reaped.dead");
+
+    {
+        ServeClient victim;
+        ASSERT_TRUE(victim.connect(socketPath_).ok());
+        ServeRequest req;
+        req.op = Op::Sim;
+        req.trace = "preset:membound:6";
+        req.length = 500000;
+        req.useStore = false;
+        req.id = "abandoned";
+        ASSERT_TRUE(victim.send(req).ok());
+        // Give the daemon a moment to dispatch the request...
+        std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }   // ...then vanish without ever reading the reply.
+
+    // The watchdog notices the hangup, cancels the in-flight work and
+    // reaps the connection instead of simulating half a million
+    // records for nobody.
+    auto &reg = obs::MetricsRegistry::global();
+    bool drained = false;
+    for (int spin = 0; spin < 2000 && !drained; ++spin) {
+        drained = counter("serve.reaped.dead") > reapedBefore &&
+                  reg.gaugeValue("serve.inflight") == 0.0;
+        if (!drained)
+            std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_TRUE(drained);
+
+    // The daemon is unharmed: a new client still gets served.
+    ServeClient after;
+    ASSERT_TRUE(after.connect(socketPath_).ok());
+    ServeRequest req;
+    req.op = Op::Sim;
+    req.trace = "preset:int:5";
+    req.length = 2000;
+    req.useStore = false;
+    req.id = "alive";
+    ServeReply reply;
+    ASSERT_TRUE(after.call(req, reply).ok());
+    EXPECT_TRUE(reply.ok) << reply.error.toString();
+    daemon.stop();
+}
+
+// ---------------------------------------------------------------------
 // Soak
 // ---------------------------------------------------------------------
 
@@ -810,6 +1026,141 @@ TEST_F(ServeDaemonTest, SoakSerialPoolMatchesJobs1)
     par::ThreadPool pool(1);
     runSoak(cfg, pool, /*threads=*/4, /*perThread=*/8,
             /*wantBusy=*/false, storeDir_);
+}
+
+// ---------------------------------------------------------------------
+// Chaos: socket-level faults plus a mid-soak daemon restart
+// ---------------------------------------------------------------------
+
+/** Disable the global fault injector on scope exit. */
+struct ChaosGuard
+{
+    ~ChaosGuard() { resil::FaultInjector::global().disable(); }
+};
+
+/**
+ * The hostile-time headline: reply wires suffer injected hard resets,
+ * per-frame stalls and dribbled writes; a third of the requests race a
+ * 1 ms deadline; and midway through, the daemon is stopped and a fresh
+ * one takes over the same socket.  Clients treat every transport error
+ * as "reconnect and resend".  The invariants: each request the client
+ * sees answered is answered exactly once and for the right id, every
+ * successful answer is bit-identical to direct simulate(), every
+ * unsuccessful one is a *typed* timeout/busy -- and no request is lost
+ * outright.
+ */
+TEST_F(ServeDaemonTest, ChaosSoakSurvivesSocketFaultsAndRestart)
+{
+    ChaosGuard guard;
+    store::Store::setDirForTesting(storeDir_);
+    std::vector<SoakSpec> specs = makeSoakSpecs();
+
+    auto chaosSpec = resil::FaultSpec::parse(
+        "conn-reset:0.4,conn-stall:0.4,partial-write:0.6");
+    ASSERT_TRUE(chaosSpec.ok()) << chaosSpec.status().toString();
+    resil::FaultInjector::global().configure(chaosSpec.value(), 11);
+
+    ServeConfig cfg = config();
+    cfg.queueBound = 32;
+    cfg.watchdogMs = 10;
+    cfg.writeTimeoutMs = 2000;
+    par::ThreadPool pool(4);
+
+    auto daemon = std::make_unique<ServeDaemon>(cfg, &pool);
+    ASSERT_TRUE(daemon->start().ok());
+
+    std::atomic<bool> stop{false};
+    std::atomic<bool> restarted{false};
+    std::atomic<int> successes{0}, timeouts{0}, lost{0};
+    std::atomic<int> successAfterRestart{0};
+    std::atomic<std::uint64_t> mismatches{0}, crossedReplies{0};
+
+    auto worker = [&](int tid) {
+        ServeClient client;
+        bool connected = false;
+        for (int i = 1; !stop.load(); ++i) {
+            const SoakSpec &s = specs[(tid + i) % specs.size()];
+            ServeRequest req;
+            req.op = Op::Sim;
+            req.trace = s.trace;
+            req.length = s.length;
+            req.imps = s.imps;
+            req.id = std::to_string(tid) + "-" + std::to_string(i);
+            if (i % 3 == 0)
+                req.deadlineMs = 1;   // a third race a 1 ms deadline
+            bool answered = false;
+            for (int attempt = 0; attempt < 80 && !answered;
+                 ++attempt) {
+                if (!connected) {
+                    client.close();
+                    connected =
+                        client.connect(cfg.socketPath, 200).ok();
+                    if (!connected) {   // daemon mid-restart
+                        std::this_thread::sleep_for(
+                            std::chrono::milliseconds(10));
+                        continue;
+                    }
+                }
+                ServeReply reply;
+                if (!client.call(req, reply).ok()) {
+                    // Chaos (or the restart) killed the wire; the
+                    // contract is reconnect-and-resend.
+                    connected = false;
+                    continue;
+                }
+                if (reply.id != req.id) {
+                    ++crossedReplies;
+                    connected = false;
+                    break;
+                }
+                if (reply.ok) {
+                    if (reply.stats.toBits() != s.bits)
+                        ++mismatches;
+                    ++successes;
+                    if (restarted.load())
+                        ++successAfterRestart;
+                    answered = true;
+                } else if (reply.error.errorClass() ==
+                           ErrorClass::Timeout) {
+                    ++timeouts;   // typed; expected for 1 ms budgets
+                    answered = true;
+                } else if (reply.error.errorClass() ==
+                           ErrorClass::Busy) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(2));
+                } else {
+                    ADD_FAILURE() << reply.error.toString();
+                    answered = true;
+                }
+            }
+            if (!answered)
+                ++lost;
+        }
+    };
+
+    std::vector<std::thread> clients;
+    for (int t = 0; t < 6; ++t)
+        clients.emplace_back(worker, t);
+
+    // Let the soak run, then yank the daemon out from under it and
+    // bring up a fresh one on the same socket.
+    std::this_thread::sleep_for(std::chrono::milliseconds(300));
+    daemon->stop();
+    daemon = std::make_unique<ServeDaemon>(cfg, &pool);
+    ASSERT_TRUE(daemon->start().ok());
+    restarted.store(true);
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(500));
+    stop.store(true);
+    for (std::thread &t : clients)
+        t.join();
+
+    EXPECT_EQ(0u, mismatches.load());
+    EXPECT_EQ(0u, crossedReplies.load());
+    EXPECT_EQ(0, lost.load());
+    EXPECT_GT(successes.load(), 0);
+    EXPECT_GT(successAfterRestart.load(), 0);
+    daemon->stop();
 }
 
 } // namespace

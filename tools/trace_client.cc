@@ -16,8 +16,9 @@
  * can diff daemon throughput between runs -- name the file
  * BENCH_serve.json to let the pairing find it.
  *
- * Exit status: 0 all replies ok, 1 an error reply (other than busy),
- * 2 usage/connect/transport failure, 3 still busy after retries.
+ * Exit status: 0 all replies ok, 1 an error reply (other than busy or
+ * timeout), 2 usage/connect/transport failure, 3 still busy after
+ * retries, 4 a deadline expired (a typed `timeout` reply).
  */
 
 #include <cstdio>
@@ -26,6 +27,8 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+
+#include <unistd.h>
 
 #include "common/env.hh"
 #include "serve/client.hh"
@@ -64,14 +67,22 @@ usage(std::ostream &os)
           "  --id TAG        correlation tag echoed in the reply\n"
           "  --file PATH     send each line of PATH as one request\n"
           "  --retry-busy    back off and resubmit on busy replies\n"
+          "                  (jittered per process, never in lockstep)\n"
+          "  --deadline-ms N answer-by deadline per sim request; an\n"
+          "                  expired one exits 4 (default\n"
+          "                  $TRB_SERVE_DEADLINE_MS or unbounded)\n"
+          "  --connect-timeout-ms N\n"
+          "                  give up connecting after N ms (exit 2;\n"
+          "                  default blocks)\n"
           "  -h, --help      this text\n";
 }
 
 /** Outcome of one reply, folded into the process exit code. */
 struct Tally
 {
-    bool error = false;   //!< an error reply other than busy
-    bool busy = false;    //!< busy after (any) retries
+    bool error = false;     //!< an error reply other than busy/timeout
+    bool busy = false;      //!< busy after (any) retries
+    bool timeout = false;   //!< a deadline expired
 };
 
 void
@@ -80,6 +91,8 @@ printReply(const serve::ServeReply &reply, Tally &tally)
     if (!reply.ok) {
         if (reply.error.errorClass() == ErrorClass::Busy)
             tally.busy = true;
+        else if (reply.error.errorClass() == ErrorClass::Timeout)
+            tally.timeout = true;
         else
             tally.error = true;
         std::printf("%s%s%s: %s\n", reply.op.c_str(),
@@ -157,6 +170,8 @@ main(int argc, char **argv)
                                       "trb_serve.sock");
     std::string jsonPath, filePath, impsName = "No_imp";
     serve::ServeRequest req;
+    req.deadlineMs = env::u64("TRB_SERVE_DEADLINE_MS", 0);
+    unsigned connectTimeoutMs = 0;
     bool doPing = false, doStats = false, retryBusy = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -232,6 +247,17 @@ main(int argc, char **argv)
             filePath = v;
         } else if (arg == "--retry-busy") {
             retryBusy = true;
+        } else if (arg == "--deadline-ms") {
+            const char *v = value("--deadline-ms");
+            if (!v)
+                return 2;
+            req.deadlineMs = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--connect-timeout-ms") {
+            const char *v = value("--connect-timeout-ms");
+            if (!v)
+                return 2;
+            connectTimeoutMs = static_cast<unsigned>(
+                std::strtoul(v, nullptr, 10));
         } else {
             std::cerr << "trace_client: unknown argument '" << arg
                       << "'\n";
@@ -256,7 +282,11 @@ main(int argc, char **argv)
     }
 
     serve::ServeClient client;
-    if (Status st = client.connect(socketPath); !st.ok()) {
+    // A pid-keyed retry jitter: many clients rejected together back
+    // off on distinct (but per-process reproducible) schedules.
+    client.setRetryKey("trace_client-" + std::to_string(::getpid()));
+    if (Status st = client.connect(socketPath, connectTimeoutMs);
+        !st.ok()) {
         std::cerr << "trace_client: " << st.toString() << "\n";
         return 2;
     }
@@ -317,5 +347,7 @@ main(int argc, char **argv)
 
     if (tally.busy)
         return 3;
+    if (tally.timeout)
+        return 4;
     return tally.error ? 1 : 0;
 }

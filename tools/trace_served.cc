@@ -42,6 +42,7 @@ usage(std::ostream &os)
 {
     os << "usage: trace_served [--socket PATH] [--queue N] "
           "[--quantum N]\n"
+          "                    [--watchdog-ms N] [--write-ms N]\n"
           "\n"
           "Serve trb-serve-v1 simulation requests over a Unix-domain\n"
           "socket until SIGTERM/SIGINT.  docs/serving.md documents the\n"
@@ -54,6 +55,11 @@ usage(std::ostream &os)
           "                  replies (default $TRB_SERVE_QUEUE or 64)\n"
           "  --quantum N     requests per client per round-robin turn\n"
           "                  (default $TRB_SERVE_QUANTUM or 1)\n"
+          "  --watchdog-ms N deadline/dead-client sweep period; 0\n"
+          "                  disables the watchdog (default\n"
+          "                  $TRB_SERVE_WATCHDOG_MS or 50)\n"
+          "  --write-ms N    per-reply peer-readiness bound; 0 blocks\n"
+          "                  (default $TRB_SERVE_WRITE_MS or 5000)\n"
           "  -h, --help      this text\n";
 }
 
@@ -85,18 +91,27 @@ main(int argc, char **argv)
             }
             return argv[++i];
         };
-        auto number = [&](const char *name, std::size_t &out) {
+        auto u64 = [&](const char *name, std::uint64_t &out,
+                       bool allowZero) {
             const char *v = value(name);
             if (!v)
                 return false;
             char *end = nullptr;
             unsigned long long parsed = std::strtoull(v, &end, 10);
-            if (end == v || *end != '\0' || parsed == 0) {
-                std::cerr << "trace_served: " << name
-                          << " wants a positive integer, got '" << v
-                          << "'\n";
+            if (end == v || *end != '\0' ||
+                (parsed == 0 && !allowZero)) {
+                std::cerr << "trace_served: " << name << " wants a "
+                          << (allowZero ? "non-negative" : "positive")
+                          << " integer, got '" << v << "'\n";
                 return false;
             }
+            out = parsed;
+            return true;
+        };
+        auto number = [&](const char *name, std::size_t &out) {
+            std::uint64_t parsed = 0;
+            if (!u64(name, parsed, false))
+                return false;
             out = static_cast<std::size_t>(parsed);
             return true;
         };
@@ -113,6 +128,12 @@ main(int argc, char **argv)
                 return 2;
         } else if (arg == "--quantum") {
             if (!number("--quantum", cfg.quantum))
+                return 2;
+        } else if (arg == "--watchdog-ms") {
+            if (!u64("--watchdog-ms", cfg.watchdogMs, true))
+                return 2;
+        } else if (arg == "--write-ms") {
+            if (!u64("--write-ms", cfg.writeTimeoutMs, true))
                 return 2;
         } else {
             std::cerr << "trace_served: unknown argument '" << arg
